@@ -1,0 +1,16 @@
+// Package mloc is a from-scratch Go reproduction of "MLOC: Multi-level
+// Layout Optimization Framework for Compressed Scientific Data
+// Exploration with Heterogeneous Access Patterns" (Gong et al., ICPP
+// 2012).
+//
+// The implementation lives under internal/: the MLOC core
+// (internal/core), its substrates (space-filling curves, binning, PLoD
+// byte planes, compression codecs, a simulated Lustre-like parallel
+// file system, an MPI-style runtime), the paper's comparators
+// (internal/fastbit, internal/scidb, internal/seqscan), and the
+// experiment harness (internal/experiments) that regenerates every
+// table and figure of the paper's evaluation. See README.md, DESIGN.md
+// and EXPERIMENTS.md at the repository root, the runnable programs
+// under cmd/ and examples/, and bench_test.go for the benchmark entry
+// points.
+package mloc

@@ -1,0 +1,109 @@
+// Multi-resolution scenario (paper §III-B3): an analyst runs statistics
+// on progressively cheaper reads. The example queries the same region
+// at PLoD levels 2, 3, 4 and full precision, comparing I/O volume and
+// the error each level introduces into a mean-value analysis, and then
+// demonstrates the subset-based alternative via the hierarchical
+// Hilbert mapping.
+//
+//	go run ./examples/multires
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"mloc/internal/core"
+	"mloc/internal/datagen"
+	"mloc/internal/grid"
+	"mloc/internal/pfs"
+	"mloc/internal/plod"
+	"mloc/internal/query"
+)
+
+func main() {
+	ds := datagen.S3DLike(64, 5)
+	temp, err := ds.Var("temp")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sim := pfs.New(pfs.DefaultConfig())
+	// Byte-column mode (MLOC-COL) is the PLoD-capable configuration.
+	cfg := core.DefaultConfig([]int{16, 16, 16})
+	store, err := core.Build(sim, sim.NewClock(), "mr/temp", ds.Shape, temp.Data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sc, err := grid.NewRegion([]int{0, 0, 0}, []int{32, 64, 64})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sim.ResetStats()
+
+	// Reference: exact mean over the region.
+	exact, err := store.Query(&query.Request{SC: &sc}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exactMean := mean(exact)
+	var sumAll float64
+	for _, v := range temp.Data {
+		sumAll += v
+	}
+	exactMeanAll := sumAll / float64(len(temp.Data))
+
+	fmt.Printf("mean-temperature analysis over a %d-point region:\n", len(exact.Matches))
+	fmt.Printf("  %-8s %-10s %-12s %-14s %s\n", "PLoD", "bytes/val", "MB read", "mean", "rel. error")
+	for _, level := range []int{1, 2, 3, 7} {
+		res, err := store.Query(&query.Request{SC: &sc, PLoDLevel: level}, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := mean(res)
+		label := fmt.Sprintf("level %d", level)
+		if level == 7 {
+			label = "full"
+		}
+		fmt.Printf("  %-8s %-10d %-12.2f %-14.6f %.2e\n",
+			label, plod.BytesPerValue(level), float64(res.BytesRead)/1e6, m,
+			math.Abs(m-exactMean)/math.Abs(exactMean))
+	}
+	fmt.Printf("  (paper: 3-byte PLoD cuts I/O 62.5%% with ~1e-4 relative error)\n\n")
+
+	// Subset-based multiresolution: the hierarchical Hilbert mapping
+	// partitions the lattice into nested resolution levels stored
+	// contiguously; a level-ℓ reader fetches only levels 0..ℓ and gets
+	// the stride-2^(order-ℓ) spatial subsample (all points, none of the
+	// precision tricks — the complementary trade-off to PLoD).
+	sub, err := core.BuildSubset(sim, sim.NewClock(), "mr/subset", ds.Shape, temp.Data, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.ResetStats()
+	fmt.Println("subset-based multiresolution (hierarchical Hilbert levels):")
+	for lvl := 0; lvl < sub.Levels(); lvl++ {
+		res, err := sub.ReadLevel(lvl, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var s float64
+		for _, v := range res.Values {
+			s += v
+		}
+		m := s / float64(len(res.Values))
+		fmt.Printf("  level %d: stride %2d, grid %-10s %8.2f KB read, mean %.4f (rel err %.2e)\n",
+			lvl, res.Stride, res.Shape, float64(res.BytesRead)/1e3, m,
+			math.Abs(m-exactMeanAll)/math.Abs(exactMeanAll))
+	}
+}
+
+func mean(res *query.Result) float64 {
+	var s float64
+	for _, m := range res.Matches {
+		s += m.Value
+	}
+	return s / float64(len(res.Matches))
+}

@@ -1,0 +1,3 @@
+module mloc
+
+go 1.22

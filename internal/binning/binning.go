@@ -1,0 +1,256 @@
+// Package binning implements MLOC's value-based equal-frequency binning
+// (paper §III-B1). Bin boundaries are estimated from a sample of the
+// dataset and then applied to the full data, so every bin holds roughly
+// the same number of elements — the paper's defence against load
+// imbalance across bin files. Bins whose value bounds fall entirely
+// inside a query's value constraint are "aligned": region queries can
+// be answered from the index alone, without touching or decompressing
+// the bin's data.
+package binning
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Scheme holds the bin boundaries. Bin i covers values in
+// [Bounds[i], Bounds[i+1]); the last bin is closed on the right so the
+// global maximum lands in a bin.
+type Scheme struct {
+	bounds []float64 // len = NumBins()+1, strictly increasing
+}
+
+// Strategy selects how boundaries are chosen.
+type Strategy string
+
+// Supported binning strategies. EqualFrequency is the paper's choice;
+// EqualWidth exists for the binning-strategy ablation.
+const (
+	EqualFrequency Strategy = "equal-frequency"
+	EqualWidth     Strategy = "equal-width"
+)
+
+// Build computes a binning scheme with n bins from sample values using
+// the given strategy. The sample is not modified. Duplicate boundary
+// candidates are collapsed, so the effective bin count can be smaller
+// than n for heavily-tied data.
+func Build(strategy Strategy, sample []float64, n int) (*Scheme, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("binning: need at least 1 bin, got %d", n)
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("binning: empty sample")
+	}
+	for i, v := range sample {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("binning: sample[%d] is NaN", i)
+		}
+	}
+	switch strategy {
+	case EqualFrequency:
+		return buildEqualFrequency(sample, n), nil
+	case EqualWidth:
+		return buildEqualWidth(sample, n), nil
+	default:
+		return nil, fmt.Errorf("binning: unknown strategy %q", strategy)
+	}
+}
+
+func buildEqualFrequency(sample []float64, n int) *Scheme {
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	bounds := make([]float64, 0, n+1)
+	bounds = append(bounds, sorted[0])
+	for i := 1; i < n; i++ {
+		q := sorted[(len(sorted)-1)*i/n]
+		if q > bounds[len(bounds)-1] {
+			bounds = append(bounds, q)
+		}
+	}
+	top := sorted[len(sorted)-1]
+	if top > bounds[len(bounds)-1] {
+		bounds = append(bounds, top)
+	} else {
+		// Degenerate all-equal sample: widen artificially so the single
+		// bin is well-formed.
+		bounds = append(bounds, bounds[len(bounds)-1]+1)
+	}
+	return &Scheme{bounds: bounds}
+}
+
+func buildEqualWidth(sample []float64, n int) *Scheme {
+	lo, hi := sample[0], sample[0]
+	for _, v := range sample {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	bounds := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		bounds[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	bounds[n] = hi
+	return &Scheme{bounds: bounds}
+}
+
+// FromBounds builds a scheme from explicit, strictly increasing
+// boundaries (len >= 2).
+func FromBounds(bounds []float64) (*Scheme, error) {
+	if len(bounds) < 2 {
+		return nil, fmt.Errorf("binning: need >= 2 bounds, got %d", len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			return nil, fmt.Errorf("binning: bounds not strictly increasing at %d: %v >= %v",
+				i, bounds[i-1], bounds[i])
+		}
+	}
+	return &Scheme{bounds: append([]float64(nil), bounds...)}, nil
+}
+
+// NumBins returns the number of bins.
+func (s *Scheme) NumBins() int { return len(s.bounds) - 1 }
+
+// Bounds returns the boundary slice; callers must not mutate it.
+func (s *Scheme) Bounds() []float64 { return s.bounds }
+
+// BinRange returns the value interval [lo, hi) of bin i (the last bin's
+// hi is inclusive by convention).
+func (s *Scheme) BinRange(i int) (lo, hi float64) {
+	if i < 0 || i >= s.NumBins() {
+		panic(fmt.Sprintf("binning: bin %d out of [0,%d)", i, s.NumBins()))
+	}
+	return s.bounds[i], s.bounds[i+1]
+}
+
+// BinOf returns the bin index for a value. Values below the first bound
+// clamp to bin 0; values at or above the last bound clamp to the last
+// bin — out-of-sample values must still land somewhere when the
+// boundaries were estimated from a partial sample (the paper's §IV-A1
+// procedure).
+func (s *Scheme) BinOf(v float64) int {
+	n := s.NumBins()
+	if v < s.bounds[0] {
+		return 0
+	}
+	if v >= s.bounds[n] {
+		return n - 1
+	}
+	// Binary search for the rightmost bound <= v.
+	i := sort.SearchFloat64s(s.bounds, v)
+	if i < len(s.bounds) && s.bounds[i] == v {
+		if i == n {
+			return n - 1
+		}
+		return i
+	}
+	return i - 1
+}
+
+// ValueConstraint is a closed value interval [Min, Max] — the VC
+// primitive of MLOC region queries.
+type ValueConstraint struct {
+	Min, Max float64
+}
+
+// Contains reports whether v satisfies the constraint.
+func (vc ValueConstraint) Contains(v float64) bool {
+	return v >= vc.Min && v <= vc.Max
+}
+
+// Alignment classifies a bin against a value constraint.
+type Alignment int
+
+// Alignment classes per the paper: aligned bins are fully inside the
+// constraint (no data access needed for region queries), misaligned
+// bins straddle a boundary (data must be decompressed and filtered),
+// and disjoint bins can be skipped entirely.
+const (
+	Disjoint Alignment = iota
+	Aligned
+	Misaligned
+)
+
+// String names the alignment class.
+func (a Alignment) String() string {
+	switch a {
+	case Disjoint:
+		return "disjoint"
+	case Aligned:
+		return "aligned"
+	case Misaligned:
+		return "misaligned"
+	default:
+		return fmt.Sprintf("Alignment(%d)", int(a))
+	}
+}
+
+// Classify returns the alignment of bin i with respect to vc.
+func (s *Scheme) Classify(i int, vc ValueConstraint) Alignment {
+	lo, hi := s.BinRange(i)
+	last := i == s.NumBins()-1
+	// Bin interval is [lo, hi) except the last bin which is [lo, hi].
+	if vc.Max < lo || vc.Min > hi || (!last && vc.Min >= hi) {
+		return Disjoint
+	}
+	if vc.Min <= lo {
+		if last {
+			if vc.Max >= hi {
+				return Aligned
+			}
+		} else if vc.Max >= hi {
+			return Aligned
+		}
+	}
+	return Misaligned
+}
+
+// SelectBins partitions the scheme's bins by alignment with vc,
+// returning the aligned and misaligned bin indices in ascending order.
+func (s *Scheme) SelectBins(vc ValueConstraint) (aligned, misaligned []int) {
+	for i := 0; i < s.NumBins(); i++ {
+		switch s.Classify(i, vc) {
+		case Aligned:
+			aligned = append(aligned, i)
+		case Misaligned:
+			misaligned = append(misaligned, i)
+		}
+	}
+	return aligned, misaligned
+}
+
+// Histogram counts how many of the given values fall into each bin —
+// used by tests and by the equal-frequency balance diagnostics.
+func (s *Scheme) Histogram(values []float64) []int64 {
+	counts := make([]int64, s.NumBins())
+	for _, v := range values {
+		counts[s.BinOf(v)]++
+	}
+	return counts
+}
+
+// ImbalanceRatio returns max/mean bin occupancy for the given values; a
+// perfectly balanced binning returns 1. The equal-frequency-vs-width
+// ablation reports this metric.
+func (s *Scheme) ImbalanceRatio(values []float64) float64 {
+	counts := s.Histogram(values)
+	var max, sum int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(max) / mean
+}

@@ -1,0 +1,286 @@
+package binning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniformSample(n int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64() * 100
+	}
+	return out
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(EqualFrequency, nil, 10); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Build(EqualFrequency, []float64{1}, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, err := Build("bogus", []float64{1}, 1); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := Build(EqualFrequency, []float64{1, math.NaN()}, 2); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}
+
+func TestEqualFrequencyBalance(t *testing.T) {
+	// On a skewed distribution, equal-frequency binning must stay
+	// balanced where equal-width collapses most points into few bins —
+	// the paper's argument for equal-frequency (§III-B1).
+	r := rand.New(rand.NewSource(42))
+	values := make([]float64, 100000)
+	for i := range values {
+		values[i] = math.Exp(r.NormFloat64() * 2) // log-normal, heavy tail
+	}
+	ef, err := Build(EqualFrequency, values, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ew, err := Build(EqualWidth, values, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	efRatio := ef.ImbalanceRatio(values)
+	ewRatio := ew.ImbalanceRatio(values)
+	if efRatio > 1.5 {
+		t.Errorf("equal-frequency imbalance %.2f too high", efRatio)
+	}
+	if ewRatio < 5 {
+		t.Errorf("equal-width imbalance %.2f unexpectedly low on log-normal data", ewRatio)
+	}
+}
+
+func TestBinOfBoundaries(t *testing.T) {
+	s, err := FromBounds([]float64{0, 10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0},   // below range clamps to 0
+		{0, 0},    // left edge
+		{9.99, 0}, // interior
+		{10, 1},   // boundary belongs to right bin
+		{19.99, 1},
+		{20, 2},
+		{29.99, 2},
+		{30, 2}, // global max clamps into last bin
+		{35, 2}, // above range clamps to last
+	}
+	for _, c := range cases {
+		if got := s.BinOf(c.v); got != c.want {
+			t.Errorf("BinOf(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestBinOfCoversAllValues(t *testing.T) {
+	// Applying sample-derived bounds to the full dataset (which may
+	// exceed the sample's range) must still assign every value to a
+	// valid bin.
+	sample := uniformSample(1000, 1)
+	s, err := Build(EqualFrequency, sample, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := uniformSample(10000, 2)
+	full = append(full, -1000, 1000) // out of sample range
+	for _, v := range full {
+		b := s.BinOf(v)
+		if b < 0 || b >= s.NumBins() {
+			t.Fatalf("BinOf(%v) = %d out of range", v, b)
+		}
+	}
+}
+
+func TestFromBoundsValidation(t *testing.T) {
+	if _, err := FromBounds([]float64{1}); err == nil {
+		t.Error("single bound accepted")
+	}
+	if _, err := FromBounds([]float64{1, 1}); err == nil {
+		t.Error("non-increasing bounds accepted")
+	}
+	if _, err := FromBounds([]float64{2, 1}); err == nil {
+		t.Error("decreasing bounds accepted")
+	}
+}
+
+func TestDegenerateAllEqualSample(t *testing.T) {
+	s, err := Build(EqualFrequency, []float64{5, 5, 5, 5}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumBins() < 1 {
+		t.Fatal("no bins for constant sample")
+	}
+	if got := s.BinOf(5); got != 0 {
+		t.Errorf("BinOf(5) = %d", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	s, _ := FromBounds([]float64{0, 10, 20, 30})
+	cases := []struct {
+		bin  int
+		vc   ValueConstraint
+		want Alignment
+	}{
+		{0, ValueConstraint{0, 10}, Aligned},     // covers [0,10)
+		{0, ValueConstraint{-5, 50}, Aligned},    // superset
+		{0, ValueConstraint{5, 50}, Misaligned},  // cuts into bin 0
+		{0, ValueConstraint{15, 18}, Disjoint},   // entirely in bin 1
+		{1, ValueConstraint{10, 20}, Aligned},    // covers [10,20)
+		{1, ValueConstraint{12, 15}, Misaligned}, // interior
+		{1, ValueConstraint{0, 9}, Disjoint},     // left of bin
+		{1, ValueConstraint{25, 30}, Disjoint},   // right of bin
+		{2, ValueConstraint{20, 30}, Aligned},    // last bin closed on right
+		{2, ValueConstraint{20, 29}, Misaligned}, // cuts the closed top
+		{2, ValueConstraint{31, 40}, Disjoint},   // beyond range
+		{1, ValueConstraint{20, 25}, Disjoint},   // vc.Min == bin hi (exclusive)
+		{2, ValueConstraint{30, 35}, Misaligned}, // touches the inclusive max
+	}
+	for _, c := range cases {
+		if got := s.Classify(c.bin, c.vc); got != c.want {
+			t.Errorf("Classify(bin %d, %+v) = %v, want %v", c.bin, c.vc, got, c.want)
+		}
+	}
+}
+
+func TestSelectBins(t *testing.T) {
+	s, _ := FromBounds([]float64{0, 10, 20, 30, 40})
+	aligned, mis := s.SelectBins(ValueConstraint{10, 35})
+	// Bins [10,20) and [20,30) aligned, [30,40] misaligned.
+	if len(aligned) != 2 || aligned[0] != 1 || aligned[1] != 2 {
+		t.Errorf("aligned = %v", aligned)
+	}
+	if len(mis) != 1 || mis[0] != 3 {
+		t.Errorf("misaligned = %v", mis)
+	}
+}
+
+func TestSelectBinsConsistentWithContains(t *testing.T) {
+	// Property: every value satisfying vc must live in a selected bin,
+	// and every value in an aligned bin must satisfy vc.
+	values := uniformSample(5000, 3)
+	s, err := Build(EqualFrequency, values, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := ValueConstraint{Min: 20, Max: 60}
+	aligned, mis := s.SelectBins(vc)
+	selected := map[int]bool{}
+	alignedSet := map[int]bool{}
+	for _, b := range aligned {
+		selected[b] = true
+		alignedSet[b] = true
+	}
+	for _, b := range mis {
+		selected[b] = true
+	}
+	for _, v := range values {
+		b := s.BinOf(v)
+		if vc.Contains(v) && !selected[b] {
+			t.Fatalf("value %v satisfies vc but its bin %d was not selected", v, b)
+		}
+		if alignedSet[b] && !vc.Contains(v) {
+			t.Fatalf("value %v in aligned bin %d violates vc", v, b)
+		}
+	}
+}
+
+func TestHistogramSums(t *testing.T) {
+	values := uniformSample(1234, 4)
+	s, _ := Build(EqualFrequency, values, 10)
+	h := s.Histogram(values)
+	var sum int64
+	for _, c := range h {
+		sum += c
+	}
+	if sum != int64(len(values)) {
+		t.Fatalf("histogram sums to %d, want %d", sum, len(values))
+	}
+}
+
+func TestBinRangePanics(t *testing.T) {
+	s, _ := FromBounds([]float64{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.BinRange(1)
+}
+
+func TestQuickBinOfInRange(t *testing.T) {
+	s, err := Build(EqualFrequency, uniformSample(500, 9), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		b := s.BinOf(v)
+		return b >= 0 && b < s.NumBins()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAlignedBinsSatisfyVC(t *testing.T) {
+	s, err := Build(EqualFrequency, uniformSample(2000, 11), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b float64) bool {
+		a = math.Mod(math.Abs(a), 100)
+		b = math.Mod(math.Abs(b), 100)
+		if a > b {
+			a, b = b, a
+		}
+		vc := ValueConstraint{Min: a, Max: b}
+		aligned, _ := s.SelectBins(vc)
+		for _, bin := range aligned {
+			lo, hi := s.BinRange(bin)
+			if !vc.Contains(lo) {
+				return false
+			}
+			// hi is exclusive except last bin; check a point just inside.
+			probe := math.Nextafter(hi, lo)
+			if probe >= lo && !vc.Contains(probe) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBinOf(b *testing.B) {
+	s, _ := Build(EqualFrequency, uniformSample(100000, 1), 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.BinOf(float64(i % 100))
+	}
+}
+
+func BenchmarkBuildEqualFrequency(b *testing.B) {
+	sample := uniformSample(100000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = Build(EqualFrequency, sample, 100)
+	}
+}

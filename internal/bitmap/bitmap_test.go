@@ -1,0 +1,171 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitmapSetGetClear(t *testing.T) {
+	b := New(130)
+	if b.Len() != 130 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	for _, i := range []int64{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh bitmap has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("Set(%d) did not stick", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 7 {
+		t.Fatal("Clear(64) failed")
+	}
+}
+
+func TestBitmapBoundsPanics(t *testing.T) {
+	b := New(10)
+	for _, f := range []func(){
+		func() { b.Get(-1) },
+		func() { b.Get(10) },
+		func() { b.Set(10) },
+		func() { b.Clear(-1) },
+		func() { New(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBitmapLogicOps(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	a.Set(50)
+	a.Set(99)
+	b.Set(50)
+	b.Set(60)
+
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 1 || !and.Get(50) {
+		t.Error("And wrong")
+	}
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 4 {
+		t.Error("Or wrong")
+	}
+	an := a.Clone()
+	an.AndNot(b)
+	if an.Count() != 2 || an.Get(50) {
+		t.Error("AndNot wrong")
+	}
+}
+
+func TestBitmapNotMasksTail(t *testing.T) {
+	b := New(70)
+	b.Not()
+	if b.Count() != 70 {
+		t.Fatalf("Not: Count = %d, want 70 (tail bits must stay masked)", b.Count())
+	}
+	b.Not()
+	if b.Count() != 0 {
+		t.Fatalf("double Not: Count = %d, want 0", b.Count())
+	}
+}
+
+func TestBitmapLengthMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	a.And(b)
+}
+
+func TestBitmapEachIndices(t *testing.T) {
+	b := New(200)
+	want := []int64{0, 31, 32, 63, 64, 100, 199}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBitmapMarshalRoundtrip(t *testing.T) {
+	b := New(777)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		b.Set(r.Int63n(777))
+	}
+	data, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Bitmap
+	if err := back.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(&back) {
+		t.Fatal("marshal roundtrip mismatch")
+	}
+	if err := back.UnmarshalBinary(data[:5]); err == nil {
+		t.Fatal("truncated unmarshal accepted")
+	}
+	if err := back.UnmarshalBinary(append(data, 0)); err == nil {
+		t.Fatal("oversized unmarshal accepted")
+	}
+}
+
+func TestBitmapEqual(t *testing.T) {
+	a, b := New(64), New(64)
+	if !a.Equal(b) {
+		t.Fatal("empty bitmaps unequal")
+	}
+	a.Set(3)
+	if a.Equal(b) {
+		t.Fatal("different bitmaps equal")
+	}
+	if a.Equal(New(65)) {
+		t.Fatal("different lengths equal")
+	}
+}
+
+func TestBitmapQuickCountMatchesSets(t *testing.T) {
+	f := func(seed int64, nSets uint8) bool {
+		b := New(500)
+		r := rand.New(rand.NewSource(seed))
+		set := map[int64]bool{}
+		for i := 0; i < int(nSets); i++ {
+			k := r.Int63n(500)
+			b.Set(k)
+			set[k] = true
+		}
+		return b.Count() == int64(len(set))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,278 @@
+package bspline
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitValidation(t *testing.T) {
+	y := make([]float64, 10)
+	if _, err := Fit(y, 3); err == nil {
+		t.Error("ncoef < 4 accepted")
+	}
+	if _, err := Fit(y, 11); err == nil {
+		t.Error("more coefficients than samples accepted")
+	}
+	if _, err := FromCoefs([]float64{1, 2}); err == nil {
+		t.Error("too-short coefficient vector accepted")
+	}
+}
+
+func TestKnotVector(t *testing.T) {
+	k := clampedKnots(6) // degree 3, 6 coefs -> 10 knots, 3 interior intervals
+	want := []float64{0, 0, 0, 0, 1.0 / 3, 2.0 / 3, 1, 1, 1, 1}
+	if len(k) != len(want) {
+		t.Fatalf("knots = %v", k)
+	}
+	for i := range want {
+		if math.Abs(k[i]-want[i]) > 1e-12 {
+			t.Fatalf("knots[%d] = %v, want %v", i, k[i], want[i])
+		}
+	}
+}
+
+func TestBasisPartitionOfUnity(t *testing.T) {
+	// Cubic B-spline basis functions sum to 1 everywhere.
+	knots := clampedKnots(12)
+	var basis [Degree + 1]float64
+	for i := 0; i <= 1000; i++ {
+		tt := float64(i) / 1000
+		span := findSpan(knots, 12, tt)
+		basisFuncs(knots, span, tt, &basis)
+		sum := 0.0
+		for _, b := range basis {
+			if b < -1e-12 {
+				t.Fatalf("negative basis value %g at t=%v", b, tt)
+			}
+			sum += b
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Fatalf("basis sum %v at t=%v", sum, tt)
+		}
+	}
+}
+
+func TestFitReproducesConstant(t *testing.T) {
+	y := make([]float64, 100)
+	for i := range y {
+		y[i] = 7.5
+	}
+	s, err := Fit(y, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.EvalN(100, nil)
+	for i := range got {
+		if math.Abs(got[i]-7.5) > 1e-9 {
+			t.Fatalf("constant fit off at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestFitReproducesLinear(t *testing.T) {
+	// Cubic splines reproduce polynomials up to degree 3 exactly
+	// (up to least-squares conditioning).
+	n := 200
+	y := make([]float64, n)
+	for i := range y {
+		x := float64(i) / float64(n-1)
+		y[i] = -3 + 11*x
+	}
+	s, err := Fit(y, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.EvalN(n, nil)
+	for i := range got {
+		if math.Abs(got[i]-y[i]) > 1e-8 {
+			t.Fatalf("linear fit off at %d: %v vs %v", i, got[i], y[i])
+		}
+	}
+}
+
+func TestFitReproducesCubic(t *testing.T) {
+	n := 300
+	y := make([]float64, n)
+	for i := range y {
+		x := float64(i) / float64(n-1)
+		y[i] = 2 - x + 4*x*x - 3*x*x*x
+	}
+	s, err := Fit(y, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.EvalN(n, nil)
+	for i := range got {
+		if math.Abs(got[i]-y[i]) > 1e-7 {
+			t.Fatalf("cubic fit off at %d: %v vs %v", i, got[i], y[i])
+		}
+	}
+}
+
+func TestFitSortedRandomData(t *testing.T) {
+	// ISABELA's workload: sorted (monotone) windows of simulation data
+	// are well approximated by few coefficients. A sorted sample of
+	// smooth-distribution values should fit with small relative error.
+	r := rand.New(rand.NewSource(7))
+	n := 1024
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = r.NormFloat64()*10 + 50
+	}
+	sort.Float64s(y)
+	s, err := Fit(y, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.EvalN(n, nil)
+	var maxRel, maxRelInterior float64
+	for i := range got {
+		rel := math.Abs(got[i]-y[i]) / math.Max(math.Abs(y[i]), 1e-12)
+		if rel > maxRel {
+			maxRel = rel
+		}
+		if i >= n/20 && i < n-n/20 && rel > maxRelInterior {
+			maxRelInterior = rel
+		}
+	}
+	// 30 coefficients over 1024 sorted gaussian points: the interior
+	// (5th–95th percentile) must be tight; the extreme tails may deviate
+	// more — ISABELA layers explicit error correction on top for those.
+	if maxRelInterior > 0.01 {
+		t.Fatalf("sorted-data fit interior max relative error %v too large", maxRelInterior)
+	}
+	if maxRel > 0.15 {
+		t.Fatalf("sorted-data fit overall max relative error %v too large", maxRel)
+	}
+}
+
+func TestEvalClampsParameter(t *testing.T) {
+	s, err := Fit([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := s.Eval(-0.5), s.Eval(0); got != want {
+		t.Errorf("Eval(-0.5) = %v, want clamp to %v", got, want)
+	}
+	if got, want := s.Eval(1.5), s.Eval(1); got != want {
+		t.Errorf("Eval(1.5) = %v, want clamp to %v", got, want)
+	}
+}
+
+func TestEndpointInterpolationTendency(t *testing.T) {
+	// With clamped knots, the spline value at t=0 and t=1 equals the
+	// first/last coefficient; after least-squares on dense data the
+	// endpoints should be close to the data endpoints.
+	n := 500
+	y := make([]float64, n)
+	for i := range y {
+		x := float64(i) / float64(n-1)
+		y[i] = math.Sin(3 * x)
+	}
+	s, err := Fit(y, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Eval(0)-y[0]) > 0.01 || math.Abs(s.Eval(1)-y[n-1]) > 0.01 {
+		t.Errorf("endpoints off: %v vs %v, %v vs %v", s.Eval(0), y[0], s.Eval(1), y[n-1])
+	}
+}
+
+func TestFromCoefsRoundtrip(t *testing.T) {
+	y := make([]float64, 64)
+	for i := range y {
+		y[i] = float64(i * i)
+	}
+	s, err := Fit(y, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := FromCoefs(s.Coefs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 50; i++ {
+		tt := float64(i) / 50
+		if s.Eval(tt) != s2.Eval(tt) {
+			t.Fatalf("FromCoefs mismatch at t=%v", tt)
+		}
+	}
+}
+
+func TestEvalNEdgeCases(t *testing.T) {
+	s, _ := Fit([]float64{0, 1, 2, 3, 4}, 4)
+	if got := s.EvalN(0, nil); len(got) != 0 {
+		t.Error("EvalN(0) not empty")
+	}
+	if got := s.EvalN(1, nil); len(got) != 1 || got[0] != s.Eval(0) {
+		t.Error("EvalN(1) wrong")
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	m := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{1, 2}
+	if _, err := solveLinear(m, b); err == nil {
+		t.Error("singular matrix accepted")
+	}
+}
+
+func TestQuickMonotoneFitBounded(t *testing.T) {
+	// Property: for any seed, fitting a sorted window keeps RMS error
+	// well under the data's standard deviation.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 256
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = r.Float64() * 100
+		}
+		sort.Float64s(y)
+		s, err := Fit(y, 20)
+		if err != nil {
+			return false
+		}
+		got := s.EvalN(n, nil)
+		var rms float64
+		for i := range got {
+			d := got[i] - y[i]
+			rms += d * d
+		}
+		rms = math.Sqrt(rms / float64(n))
+		return rms < 5 // data spans [0,100]; sorted uniform is near-linear
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFit1024x30(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	y := make([]float64, 1024)
+	for i := range y {
+		y[i] = r.NormFloat64()
+	}
+	sort.Float64s(y)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(y, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvalN1024(b *testing.B) {
+	y := make([]float64, 1024)
+	for i := range y {
+		y[i] = float64(i)
+	}
+	s, _ := Fit(y, 30)
+	dst := make([]float64, 0, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = s.EvalN(1024, dst[:0])
+	}
+}

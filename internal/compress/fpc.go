@@ -1,0 +1,163 @@
+package compress
+
+import (
+	"fmt"
+	"math"
+)
+
+// FPC is a lossless predictive float codec in the style of Burtscher &
+// Ratanaworabhan's FPC (and the FPZip family the paper cites as an
+// alternative backend): two hash-based predictors (an FCM value
+// predictor and a DFCM delta predictor) guess each value, the better
+// prediction is XORed with the actual bits, and the leading zero bytes
+// of the XOR are elided. Smooth simulation fields predict well, so
+// most values shrink to a few residual bytes — with zero entropy
+// coding, making the codec very fast.
+type FPC struct {
+	tableBits uint
+}
+
+// NewFPC constructs an FPC codec with the default 16-bit predictor
+// tables (512 KiB of state during encode/decode).
+func NewFPC() *FPC { return &FPC{tableBits: 16} }
+
+// Name implements FloatCodec.
+func (c *FPC) Name() string { return "fpc" }
+
+// Lossless implements FloatCodec.
+func (c *FPC) Lossless() bool { return true }
+
+// fpcState holds the twin predictor tables. Encode and decode must
+// update them identically for the streams to stay in sync.
+type fpcState struct {
+	fcm, dfcm   []uint64
+	fcmH, dfcmH uint64
+	last        uint64
+	mask        uint64
+}
+
+func newFPCState(bits uint) *fpcState {
+	return &fpcState{
+		fcm:  make([]uint64, 1<<bits),
+		dfcm: make([]uint64, 1<<bits),
+		mask: 1<<bits - 1,
+	}
+}
+
+// predict returns the FCM and DFCM predictions for the next value.
+func (s *fpcState) predict() (p1, p2 uint64) {
+	return s.fcm[s.fcmH], s.dfcm[s.dfcmH] + s.last
+}
+
+// update trains both predictors with the actual value.
+func (s *fpcState) update(bits uint64) {
+	s.fcm[s.fcmH] = bits
+	s.fcmH = ((s.fcmH << 6) ^ (bits >> 48)) & s.mask
+	delta := bits - s.last
+	s.dfcm[s.dfcmH] = delta
+	s.dfcmH = ((s.dfcmH << 2) ^ (delta >> 40)) & s.mask
+	s.last = bits
+}
+
+// EncodeFloats implements FloatCodec. Layout:
+//
+//	uvarint count
+//	ceil(count/2) header bytes: two 4-bit codes per byte
+//	  (bit 3: predictor selector, bits 0-2: 7 - leadingZeroBytes,
+//	   clamped so a perfect prediction still stores one byte)
+//	residual bytes, big-endian, low `8-lzb` bytes of each XOR
+func (c *FPC) EncodeFloats(values []float64) ([]byte, error) {
+	st := newFPCState(c.tableBits)
+	n := len(values)
+	out := putUvarint(nil, uint64(n))
+	headStart := len(out)
+	out = append(out, make([]byte, (n+1)/2)...)
+	for i, v := range values {
+		bits := math.Float64bits(v)
+		p1, p2 := st.predict()
+		x1 := bits ^ p1
+		x2 := bits ^ p2
+		sel := byte(0)
+		xor := x1
+		if leadingZeroBytes(x2) > leadingZeroBytes(x1) {
+			sel = 1
+			xor = x2
+		}
+		lzb := leadingZeroBytes(xor)
+		if lzb > 7 {
+			lzb = 7 // store at least one byte; keeps codes in 3 bits
+		}
+		code := sel<<3 | byte(7-lzb)
+		hi := headStart + i/2
+		if i%2 == 0 {
+			out[hi] = code
+		} else {
+			out[hi] |= code << 4
+		}
+		for b := 7 - lzb; b >= 0; b-- {
+			out = append(out, byte(xor>>uint(8*b)))
+		}
+		st.update(bits)
+	}
+	return out, nil
+}
+
+// DecodeFloats implements FloatCodec.
+func (c *FPC) DecodeFloats(data []byte, dst []float64) ([]float64, error) {
+	count, hn, err := uvarint(data)
+	if err != nil {
+		return nil, fmt.Errorf("compress: fpc header: %w", err)
+	}
+	data = data[hn:]
+	// Each value needs half a header byte plus at least one residual
+	// byte, so an honest count can never exceed twice the remaining
+	// length; checking before the int conversion also blocks overflow
+	// from adversarial varints.
+	if count > 2*uint64(len(data)) {
+		return nil, fmt.Errorf("compress: fpc declares %d values in %d bytes", count, len(data))
+	}
+	n := int(count)
+	headLen := (n + 1) / 2
+	if len(data) < headLen {
+		return nil, fmt.Errorf("compress: fpc header bytes truncated")
+	}
+	head := data[:headLen]
+	data = data[headLen:]
+	st := newFPCState(c.tableBits)
+	for i := 0; i < n; i++ {
+		code := head[i/2]
+		if i%2 == 1 {
+			code >>= 4
+		}
+		code &= 0x0F
+		sel := code >> 3
+		nbytes := int(code&0x07) + 1
+		if len(data) < nbytes {
+			return nil, fmt.Errorf("compress: fpc residuals truncated at value %d", i)
+		}
+		var xor uint64
+		for b := 0; b < nbytes; b++ {
+			xor = xor<<8 | uint64(data[b])
+		}
+		data = data[nbytes:]
+		p1, p2 := st.predict()
+		var bits uint64
+		if sel == 0 {
+			bits = xor ^ p1
+		} else {
+			bits = xor ^ p2
+		}
+		dst = append(dst, math.Float64frombits(bits))
+		st.update(bits)
+	}
+	return dst, nil
+}
+
+func leadingZeroBytes(x uint64) int {
+	n := 0
+	for n < 8 && x&(0xFF<<56) == 0 {
+		x <<= 8
+		n++
+	}
+	return n
+}

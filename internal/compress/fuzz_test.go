@@ -1,0 +1,93 @@
+package compress
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets: decoders must never panic or hang on arbitrary input,
+// and encode→decode must round-trip for every lossless codec. `go test`
+// runs the seed corpus; `go test -fuzz=FuzzX` explores further.
+
+func FuzzIsobarDecode(f *testing.F) {
+	c := NewIsobar(DefaultZlibLevel)
+	seed, _ := c.EncodeFloats([]float64{1, 2, 3, math.Pi})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must not panic; errors are fine.
+		_, _ = c.DecodeFloats(data, nil)
+	})
+}
+
+func FuzzIsabelaDecode(f *testing.F) {
+	c := NewIsabela(DefaultIsabelaConfig())
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i) * 1.5
+	}
+	seed, _ := c.EncodeFloats(vals)
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x40, 0x08, 0x1e})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = c.DecodeFloats(data, nil)
+	})
+}
+
+func FuzzFPCDecode(f *testing.F) {
+	c := NewFPC()
+	seed, _ := c.EncodeFloats([]float64{0, 1e300, -42.5})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0x03, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = c.DecodeFloats(data, nil)
+	})
+}
+
+func FuzzFPCRoundtrip(f *testing.F) {
+	c := NewFPC()
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		n := len(raw) / 8
+		values := make([]float64, n)
+		for i := 0; i < n; i++ {
+			var bits uint64
+			for b := 0; b < 8; b++ {
+				bits = bits<<8 | uint64(raw[i*8+b])
+			}
+			values[i] = math.Float64frombits(bits)
+		}
+		enc, err := c.EncodeFloats(values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.DecodeFloats(enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != n {
+			t.Fatalf("decoded %d values, want %d", len(dec), n)
+		}
+		for i := range values {
+			if math.Float64bits(dec[i]) != math.Float64bits(values[i]) {
+				t.Fatalf("value %d mismatch", i)
+			}
+		}
+	})
+}
+
+func FuzzBitUnpack(f *testing.F) {
+	f.Add([]byte{0xAB, 0xCD}, 3, uint8(5))
+	f.Fuzz(func(t *testing.T, data []byte, count int, bitsRaw uint8) {
+		if count < 0 || count > 1<<12 {
+			return
+		}
+		bits := uint(bitsRaw%31) + 1
+		// Must not panic; errors are fine.
+		_, _, _ = unpackBits(data, count, bits)
+	})
+}

@@ -1,0 +1,87 @@
+package compress
+
+import (
+	"bytes"
+	"compress/zlib"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DefaultZlibLevel balances throughput against ratio the way the paper's
+// "standard Zlib compression" setting does.
+const DefaultZlibLevel = 6
+
+// Zlib is the standard DEFLATE-based byte codec. Encoder and decoder
+// state is pooled: a fresh deflate state is more than a megabyte, and
+// MLOC compresses tens of thousands of small plane pieces per build.
+type Zlib struct {
+	level   int
+	writers sync.Pool // *zlib.Writer
+	readers sync.Pool // io.ReadCloser implementing zlib.Resetter
+}
+
+// NewZlib builds a Zlib codec; out-of-range levels clamp to the
+// library's valid range.
+func NewZlib(level int) *Zlib {
+	if level < zlib.HuffmanOnly {
+		level = zlib.DefaultCompression
+	}
+	if level > zlib.BestCompression {
+		level = zlib.BestCompression
+	}
+	return &Zlib{level: level}
+}
+
+// Name implements ByteCodec.
+func (z *Zlib) Name() string { return "zlib" }
+
+// EncodeBytes implements ByteCodec.
+func (z *Zlib) EncodeBytes(src []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	w, _ := z.writers.Get().(*zlib.Writer)
+	if w == nil {
+		var err error
+		w, err = zlib.NewWriterLevel(&buf, z.level)
+		if err != nil {
+			return nil, fmt.Errorf("compress: zlib writer: %w", err)
+		}
+	} else {
+		w.Reset(&buf)
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, fmt.Errorf("compress: zlib write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("compress: zlib close: %w", err)
+	}
+	z.writers.Put(w)
+	return buf.Bytes(), nil
+}
+
+// DecodeBytes implements ByteCodec.
+func (z *Zlib) DecodeBytes(data []byte, dst []byte) ([]byte, error) {
+	var r io.ReadCloser
+	if pooled, ok := z.readers.Get().(io.ReadCloser); ok && pooled != nil {
+		if err := pooled.(zlib.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
+			return nil, fmt.Errorf("compress: zlib reader: %w", err)
+		}
+		r = pooled
+	} else {
+		var err error
+		r, err = zlib.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("compress: zlib reader: %w", err)
+		}
+	}
+	buf := bytes.NewBuffer(dst)
+	if _, err := io.Copy(buf, r); err != nil {
+		r.Close()
+		return nil, fmt.Errorf("compress: zlib decode: %w", err)
+	}
+	if err := r.Close(); err != nil {
+		return nil, fmt.Errorf("compress: zlib close: %w", err)
+	}
+	z.readers.Put(r)
+	return buf.Bytes(), nil
+}

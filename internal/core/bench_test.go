@@ -1,0 +1,157 @@
+package core
+
+// Package-level performance benchmarks for the MLOC store: ingest
+// throughput, query paths, and the subset-store reader. The paper-level
+// experiment benchmarks live in the repository root's bench_test.go.
+
+import (
+	"testing"
+
+	"mloc/internal/binning"
+	"mloc/internal/datagen"
+	"mloc/internal/grid"
+	"mloc/internal/pfs"
+	"mloc/internal/query"
+)
+
+func benchData(b *testing.B) ([]float64, grid.Shape) {
+	b.Helper()
+	d := datagen.GTSLike(256, 256, 1)
+	v, _ := d.Var("phi")
+	return v.Data, d.Shape
+}
+
+func BenchmarkBuildCOL(b *testing.B) {
+	data, shape := benchData(b)
+	cfg := DefaultConfig([]int{32, 32})
+	cfg.NumBins = 32
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs := pfs.New(pfs.DefaultConfig())
+		if _, err := Build(fs, fs.NewClock(), "b/phi", shape, data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildISA(b *testing.B) {
+	data, shape := benchData(b)
+	cfg := ISAConfig([]int{32, 32})
+	cfg.NumBins = 32
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs := pfs.New(pfs.DefaultConfig())
+		if _, err := Build(fs, fs.NewClock(), "b/phi", shape, data, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchStore(b *testing.B) (*Store, []float64) {
+	b.Helper()
+	data, shape := benchData(b)
+	cfg := DefaultConfig([]int{32, 32})
+	cfg.NumBins = 32
+	fs := pfs.New(pfs.DefaultConfig())
+	st, err := Build(fs, fs.NewClock(), "b/phi", shape, data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return st, data
+}
+
+func BenchmarkRegionQuery(b *testing.B) {
+	st, data := benchStore(b)
+	lo, hi := datagen.Selectivity(data, 0.05, 7, 4096)
+	vc := binning.ValueConstraint{Min: lo, Max: hi}
+	req := &query.Request{VC: &vc, IndexOnly: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query(req, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValueQuery(b *testing.B) {
+	st, _ := benchStore(b)
+	sc, _ := grid.NewRegion([]int{64, 64}, []int{192, 192})
+	req := &query.Request{SC: &sc}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query(req, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPLoD2Query(b *testing.B) {
+	st, _ := benchStore(b)
+	sc, _ := grid.NewRegion([]int{64, 64}, []int{192, 192})
+	req := &query.Request{SC: &sc, PLoDLevel: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Query(req, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeOffsets(b *testing.B) {
+	// A typical unit: 1000 points with small deltas.
+	offsets := make([]int32, 1000)
+	for i := range offsets {
+		offsets[i] = int32(i * 7)
+	}
+	var raw []byte
+	prev := int32(0)
+	for _, o := range offsets {
+		d := o - prev
+		prev = o
+		for d >= 0x80 {
+			raw = append(raw, byte(d)|0x80)
+			d >>= 7
+		}
+		raw = append(raw, byte(d))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decodeOffsets(raw, len(offsets)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubsetBuild(b *testing.B) {
+	data, shape := benchData(b)
+	b.SetBytes(int64(len(data) * 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs := pfs.New(pfs.DefaultConfig())
+		if _, err := BuildSubset(fs, fs.NewClock(), "b/sub", shape, data, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubsetReadCoarse(b *testing.B) {
+	data, shape := benchData(b)
+	fs := pfs.New(pfs.DefaultConfig())
+	st, err := BuildSubset(fs, fs.NewClock(), "b/sub", shape, data, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.ReadLevel(3, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

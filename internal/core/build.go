@@ -1,0 +1,290 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"mloc/internal/binning"
+	"mloc/internal/datagen"
+	"mloc/internal/grid"
+	"mloc/internal/pfs"
+	"mloc/internal/plod"
+	"mloc/internal/sfc"
+)
+
+// Build ingests one variable through the MLOC multi-level pipeline and
+// writes the per-bin subfiles plus metadata to the PFS under prefix.
+// PFS write time is charged to clk; compression CPU time is measured
+// and added to the same clock, reproducing the paper's in-situ
+// processing-pipeline accounting.
+func Build(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []float64, cfg Config) (*Store, error) {
+	return BuildWithSample(fs, clk, prefix, shape, data, nil, cfg)
+}
+
+// BuildWithSample is Build with an explicit binning sample: the
+// equal-frequency boundaries are estimated from sample instead of from
+// data itself. Passing a synthetic sample changes the effective binning
+// strategy (the binning ablation feeds a uniform ramp to obtain
+// equal-width bins); passing nil samples from data.
+func BuildWithSample(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data, sample []float64, cfg Config) (*Store, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	if int64(len(data)) != shape.Elems() {
+		return nil, fmt.Errorf("core: %d values for shape %v", len(data), shape)
+	}
+	if prefix == "" {
+		return nil, fmt.Errorf("core: empty prefix")
+	}
+	chunks, err := grid.NewChunking(shape, cfg.ChunkSize)
+	if err != nil {
+		return nil, err
+	}
+	curve, err := newChunkCurve(cfg.Curve, chunks)
+	if err != nil {
+		return nil, err
+	}
+	order := chunkStorageOrder(chunks, curve)
+
+	// Level V: equal-frequency bin boundaries from a sample (paper
+	// §IV-A1: boundaries from partial data, applied to the whole).
+	if sample == nil {
+		sample = datagen.Sample(data, cfg.SampleSize, 1)
+	}
+	scheme, err := binning.Build(binning.EqualFrequency, sample, cfg.NumBins)
+	if err != nil {
+		return nil, err
+	}
+
+	nbins := scheme.NumBins()
+	perBin := make([][]rawUnit, nbins)
+
+	// Pass 1: chunk the data (level S boundary definition), bin each
+	// chunk's points (level V membership).
+	cpu0 := time.Now()
+	var chunkBuf []float64
+	for _, chunkID := range order {
+		chunkBuf = chunks.ExtractChunk(data, chunkID, chunkBuf[:0])
+		var local [][]int32
+		var localV [][]float64
+		local = make([][]int32, nbins)
+		localV = make([][]float64, nbins)
+		for off, v := range chunkBuf {
+			b := scheme.BinOf(v)
+			local[b] = append(local[b], int32(off))
+			localV[b] = append(localV[b], v)
+		}
+		for b := 0; b < nbins; b++ {
+			if len(local[b]) == 0 {
+				continue
+			}
+			perBin[b] = append(perBin[b], rawUnit{chunkID: chunkID, offsets: local[b], values: localV[b]})
+		}
+	}
+	clk.AdvanceBy(time.Since(cpu0).Seconds())
+
+	// Pass 2: encode each bin's units (levels M + compression), lay out
+	// the bin files per the configured order, and write them.
+	meta := &storeMeta{
+		shape:      shape.Clone(),
+		chunkSize:  append([]int(nil), cfg.ChunkSize...),
+		order:      cfg.Order,
+		curve:      string(cfg.Curve),
+		mode:       cfg.Mode,
+		compPlanes: cfg.CompressPlanes,
+		binBounds:  append([]float64(nil), scheme.Bounds()...),
+		bins:       make([]binMeta, nbins),
+	}
+	if cfg.Mode == ModePlanes {
+		meta.codecName = cfg.ByteCodec.Name()
+	} else {
+		meta.codecName = cfg.FloatCodec.Name()
+	}
+
+	for b := 0; b < nbins; b++ {
+		units := perBin[b]
+		bm := &meta.bins[b]
+		bm.unitByChunk = make(map[int64]int, len(units))
+
+		var indexBuf []byte
+		cpuIdx := time.Now()
+		bm.units = make([]unitMeta, len(units))
+		for j, u := range units {
+			um := &bm.units[j]
+			um.chunkID = u.chunkID
+			um.count = int32(len(u.offsets))
+			um.indexOff = int64(len(indexBuf))
+			prev := int32(0)
+			for _, off := range u.offsets {
+				indexBuf = binary.AppendUvarint(indexBuf, uint64(off-prev))
+				prev = off
+			}
+			um.indexLen = int64(len(indexBuf)) - um.indexOff
+			bm.unitByChunk[u.chunkID] = j
+		}
+		clk.AdvanceBy(time.Since(cpuIdx).Seconds())
+
+		var dataBuf []byte
+		switch cfg.Mode {
+		case ModePlanes:
+			dataBuf, err = encodePlanesBin(bm, units, cfg, clk)
+		case ModeFloats:
+			dataBuf, err = encodeFloatsBin(bm, units, cfg, clk)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: bin %d: %w", b, err)
+		}
+		bm.dataSize = int64(len(dataBuf))
+		bm.indexSize = int64(len(indexBuf))
+
+		if err := fs.WriteFile(clk, binDataPath(prefix, b), dataBuf); err != nil {
+			return nil, err
+		}
+		if err := fs.WriteFile(clk, binIndexPath(prefix, b), indexBuf); err != nil {
+			return nil, err
+		}
+	}
+
+	metaBytes := meta.marshal()
+	if err := fs.WriteFile(clk, metaPath(prefix), metaBytes); err != nil {
+		return nil, err
+	}
+	return newStore(fs, prefix, meta, cfg.ByteCodec, cfg.FloatCodec, cfg.Assignment)
+}
+
+// rawUnit is a unit's points before encoding: the intra-chunk offsets
+// (ascending) and the corresponding values.
+type rawUnit struct {
+	chunkID int64
+	offsets []int32
+	values  []float64
+}
+
+// encodePlanesBin encodes the units' values as PLoD byte planes and
+// lays them out plane-major (V-M-S) or chunk-major (V-S-M), recording
+// piece locations into the unit metadata.
+func encodePlanesBin(bm *binMeta, units []rawUnit, cfg Config, clk *pfs.Clock) ([]byte, error) {
+	// Encode all pieces first.
+	pieces := make([][plod.NumPlanes][]byte, len(units))
+	cpu0 := time.Now()
+	for j, u := range units {
+		planes := plod.Split(u.values)
+		for p := 0; p < plod.NumPlanes; p++ {
+			if p < cfg.CompressPlanes {
+				enc, err := cfg.ByteCodec.EncodeBytes(planes[p])
+				if err != nil {
+					return nil, err
+				}
+				// Store whichever form is smaller; tiny or
+				// incompressible pieces would otherwise inflate.
+				if len(enc) < len(planes[p]) {
+					pieces[j][p] = enc
+				} else {
+					pieces[j][p] = planes[p]
+					bm.units[j].rawPlanes |= 1 << uint(p)
+				}
+			} else {
+				pieces[j][p] = planes[p]
+			}
+		}
+		bm.units[j].pieceOff = make([]int64, plod.NumPlanes)
+		bm.units[j].pieceLen = make([]int64, plod.NumPlanes)
+	}
+	clk.AdvanceBy(time.Since(cpu0).Seconds())
+
+	var dataBuf []byte
+	if cfg.Order.PlanesBeforeChunks() {
+		// V-M-S: all plane-0 pieces (chunks in curve order), then all
+		// plane-1 pieces, ... — PLoD-level reads are contiguous.
+		for p := 0; p < plod.NumPlanes; p++ {
+			for j := range units {
+				bm.units[j].pieceOff[p] = int64(len(dataBuf))
+				bm.units[j].pieceLen[p] = int64(len(pieces[j][p]))
+				dataBuf = append(dataBuf, pieces[j][p]...)
+			}
+		}
+	} else {
+		// V-S-M: each chunk's planes together — full-precision chunk
+		// reads are contiguous.
+		for j := range units {
+			for p := 0; p < plod.NumPlanes; p++ {
+				bm.units[j].pieceOff[p] = int64(len(dataBuf))
+				bm.units[j].pieceLen[p] = int64(len(pieces[j][p]))
+				dataBuf = append(dataBuf, pieces[j][p]...)
+			}
+		}
+	}
+	return dataBuf, nil
+}
+
+// encodeFloatsBin encodes units with the float codec, one piece each,
+// in chunk curve order.
+func encodeFloatsBin(bm *binMeta, units []rawUnit, cfg Config, clk *pfs.Clock) ([]byte, error) {
+	var dataBuf []byte
+	cpu0 := time.Now()
+	for j, u := range units {
+		enc, err := cfg.FloatCodec.EncodeFloats(u.values)
+		if err != nil {
+			return nil, err
+		}
+		bm.units[j].pieceOff = []int64{int64(len(dataBuf))}
+		bm.units[j].pieceLen = []int64{int64(len(enc))}
+		dataBuf = append(dataBuf, enc...)
+	}
+	clk.AdvanceBy(time.Since(cpu0).Seconds())
+	return dataBuf, nil
+}
+
+// newChunkCurve builds the configured curve sized for the chunk grid.
+func newChunkCurve(kind sfc.CurveKind, chunks *grid.Chunking) (sfc.Curve, error) {
+	gridShape := chunks.GridShape()
+	maxSide := 0
+	for _, s := range gridShape {
+		if s > maxSide {
+			maxSide = s
+		}
+	}
+	return sfc.NewCurve(kind, gridShape.Dims(), sfc.OrderFor(uint64(maxSide)))
+}
+
+// chunkStorageOrder returns all chunk ids sorted by curve index — the
+// level-S storage order within each bin.
+func chunkStorageOrder(chunks *grid.Chunking, curve sfc.Curve) []int64 {
+	gridShape := chunks.GridShape()
+	n := chunks.NumChunks()
+	type kv struct {
+		key uint64
+		id  int64
+	}
+	entries := make([]kv, n)
+	coords := make([]int, 0, gridShape.Dims())
+	ucoords := make([]uint32, gridShape.Dims())
+	for id := int64(0); id < n; id++ {
+		coords = gridShape.Coords(id, coords[:0])
+		for d, c := range coords {
+			ucoords[d] = uint32(c)
+		}
+		entries[id] = kv{key: curve.Index(ucoords), id: id}
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].key < entries[b].key })
+	out := make([]int64, n)
+	for i, e := range entries {
+		out[i] = e.id
+	}
+	return out
+}
+
+func binDataPath(prefix string, bin int) string {
+	return fmt.Sprintf("%s/bin%04d/data", prefix, bin)
+}
+
+func binIndexPath(prefix string, bin int) string {
+	return fmt.Sprintf("%s/bin%04d/index", prefix, bin)
+}
+
+func metaPath(prefix string) string { return prefix + "/meta" }

@@ -1,0 +1,604 @@
+package core
+
+import (
+	"testing"
+
+	"mloc/internal/binning"
+	"mloc/internal/datagen"
+	"mloc/internal/grid"
+	"mloc/internal/pfs"
+	"mloc/internal/query"
+	"mloc/internal/sfc"
+)
+
+// testData returns a small GTS-like field.
+func testData(t *testing.T) ([]float64, grid.Shape) {
+	t.Helper()
+	d := datagen.GTSLike(32, 32, 1)
+	v, _ := d.Var("phi")
+	return v.Data, d.Shape
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig([]int{8, 8})
+	cfg.NumBins = 10
+	cfg.SampleSize = 512
+	return cfg
+}
+
+func buildTestStore(t *testing.T, cfg Config) (*Store, []float64, grid.Shape) {
+	t.Helper()
+	data, shape := testData(t)
+	fs := pfs.New(pfs.DefaultConfig())
+	st, err := Build(fs, pfs.NewClock(), "mloc/phi", shape, data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, data, shape
+}
+
+func bruteForce(data []float64, shape grid.Shape, req *query.Request) []query.Match {
+	var out []query.Match
+	coords := make([]int, shape.Dims())
+	for i, v := range data {
+		if req.VC != nil && !req.VC.Contains(v) {
+			continue
+		}
+		if req.SC != nil {
+			coords = shape.Coords(int64(i), coords[:0])
+			if !req.SC.Contains(coords) {
+				continue
+			}
+		}
+		m := query.Match{Index: int64(i)}
+		if !req.IndexOnly {
+			m.Value = v
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func matchesEqual(t *testing.T, got, want []query.Match, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestOrderValidate(t *testing.T) {
+	if err := OrderVMS.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := OrderVSM.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Order{
+		{},
+		{LevelValue, LevelValue, LevelSpatial},
+		{LevelMultires, LevelValue, LevelSpatial},
+		{LevelValue, LevelMultires, Level('X')},
+		{LevelValue, LevelMultires},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad order %d (%s) accepted", i, o)
+		}
+	}
+}
+
+func TestParseOrder(t *testing.T) {
+	for _, s := range []string{"V-M-S", "VMS", "V-S-M", "VSM"} {
+		o, err := ParseOrder(s)
+		if err != nil {
+			t.Fatalf("ParseOrder(%s): %v", s, err)
+		}
+		if o[0] != LevelValue {
+			t.Fatalf("ParseOrder(%s) = %s", s, o)
+		}
+	}
+	for _, s := range []string{"M-V-S", "V", "X-Y-Z", ""} {
+		if _, err := ParseOrder(s); err == nil {
+			t.Errorf("ParseOrder(%s) accepted", s)
+		}
+	}
+	if !OrderVMS.PlanesBeforeChunks() {
+		t.Error("VMS should be plane-major")
+	}
+	if OrderVSM.PlanesBeforeChunks() {
+		t.Error("VSM should be chunk-major")
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.normalize(); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg = Config{ChunkSize: []int{0}}
+	if err := cfg.normalize(); err == nil {
+		t.Error("zero chunk size accepted")
+	}
+	cfg = Config{ChunkSize: []int{4}, NumBins: 0}
+	if err := cfg.normalize(); err == nil {
+		t.Error("zero bins accepted")
+	}
+	cfg = Config{ChunkSize: []int{4}, NumBins: 2, Mode: ModeFloats}
+	if err := cfg.normalize(); err == nil {
+		t.Error("floats mode without codec accepted")
+	}
+	cfg = Config{ChunkSize: []int{4}, NumBins: 2, Mode: "weird"}
+	if err := cfg.normalize(); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	good := Config{ChunkSize: []int{4}, NumBins: 2}
+	if err := good.normalize(); err != nil {
+		t.Fatalf("minimal config rejected: %v", err)
+	}
+	if good.Mode != ModePlanes || good.Order == nil || good.ByteCodec == nil {
+		t.Error("defaults not filled")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	fs := pfs.New(pfs.DefaultConfig())
+	data, shape := testData(t)
+	if _, err := Build(fs, pfs.NewClock(), "", shape, data, testConfig()); err == nil {
+		t.Error("empty prefix accepted")
+	}
+	if _, err := Build(fs, pfs.NewClock(), "x", shape, data[:5], testConfig()); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	cfg := testConfig()
+	cfg.ChunkSize = []int{8} // wrong arity
+	if _, err := Build(fs, pfs.NewClock(), "x", shape, data, cfg); err == nil {
+		t.Error("chunk arity mismatch accepted")
+	}
+}
+
+func queryConfigs() map[string]Config {
+	col := DefaultConfig([]int{8, 8})
+	col.NumBins = 10
+	col.SampleSize = 512
+
+	colVSM := col
+	colVSM.Order = OrderVSM
+
+	iso := ISOConfig([]int{8, 8})
+	iso.NumBins = 10
+	iso.SampleSize = 512
+
+	return map[string]Config{"COL-VMS": col, "COL-VSM": colVSM, "ISO": iso}
+}
+
+func TestRegionQueryMatchesBruteForce(t *testing.T) {
+	for name, cfg := range queryConfigs() {
+		st, data, shape := buildTestStore(t, cfg)
+		for _, sel := range []float64{0.01, 0.1} {
+			lo, hi := datagen.Selectivity(data, sel, 5, 1024)
+			vc := binning.ValueConstraint{Min: lo, Max: hi}
+			req := &query.Request{VC: &vc}
+			for _, ranks := range []int{1, 4} {
+				res, err := st.Query(req, ranks)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				matchesEqual(t, res.Matches, bruteForce(data, shape, req), name+" region query")
+			}
+		}
+	}
+}
+
+func TestValueQueryMatchesBruteForce(t *testing.T) {
+	for name, cfg := range queryConfigs() {
+		st, data, shape := buildTestStore(t, cfg)
+		sc, _ := grid.NewRegion([]int{3, 5}, []int{19, 27})
+		req := &query.Request{SC: &sc}
+		for _, ranks := range []int{1, 3, 8} {
+			res, err := st.Query(req, ranks)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			matchesEqual(t, res.Matches, bruteForce(data, shape, req), name+" value query")
+		}
+	}
+}
+
+func TestCombinedQueryMatchesBruteForce(t *testing.T) {
+	for name, cfg := range queryConfigs() {
+		st, data, shape := buildTestStore(t, cfg)
+		lo, hi := datagen.Selectivity(data, 0.3, 7, 1024)
+		vc := binning.ValueConstraint{Min: lo, Max: hi}
+		sc, _ := grid.NewRegion([]int{8, 0}, []int{24, 16})
+		req := &query.Request{VC: &vc, SC: &sc}
+		res, err := st.Query(req, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		matchesEqual(t, res.Matches, bruteForce(data, shape, req), name+" combined query")
+	}
+}
+
+func TestIndexOnlyQuery(t *testing.T) {
+	st, data, shape := buildTestStore(t, testConfig())
+	lo, hi := datagen.Selectivity(data, 0.1, 9, 1024)
+	vc := binning.ValueConstraint{Min: lo, Max: hi}
+	req := &query.Request{VC: &vc, IndexOnly: true}
+	res, err := st.Query(req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, res.Matches, bruteForce(data, shape, req), "index-only")
+	for _, m := range res.Matches {
+		if m.Value != 0 {
+			t.Fatal("index-only match carries a value")
+		}
+	}
+}
+
+func TestAlignedBinsSkipData(t *testing.T) {
+	// A VC exactly covering whole bins makes every selected bin
+	// aligned: an index-only query must not read any data blocks.
+	st, _, _ := buildTestStore(t, testConfig())
+	bounds := st.Scheme().Bounds()
+	vc := binning.ValueConstraint{Min: bounds[2], Max: bounds[5]}
+	// Nudge Max just below the boundary so bin 5 is not touched: bins
+	// 2,3,4 are fully covered (aligned).
+	req := &query.Request{VC: &vc, IndexOnly: true}
+	aligned, mis := st.Scheme().SelectBins(vc)
+	if len(aligned) < 2 {
+		t.Skip("binning produced no aligned bins for this constraint")
+	}
+	res, err := st.Query(req, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mis) == 0 && res.BlocksRead != 0 {
+		t.Fatalf("aligned-only index query read %d data blocks", res.BlocksRead)
+	}
+	// Data volume must be far below the store's data size: only index
+	// subfiles are touched for the aligned bins.
+	if res.BytesRead >= st.DataBytes() {
+		t.Fatalf("index-only query read %d bytes >= data size %d", res.BytesRead, st.DataBytes())
+	}
+}
+
+func TestPLoDQueryApproximatesValues(t *testing.T) {
+	st, data, shape := buildTestStore(t, testConfig())
+	sc, _ := grid.NewRegion([]int{0, 0}, []int{16, 16})
+	exact := bruteForce(data, shape, &query.Request{SC: &sc})
+	for _, level := range []int{1, 2, 3, 4} {
+		req := &query.Request{SC: &sc, PLoDLevel: level}
+		res, err := st.Query(req, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Matches) != len(exact) {
+			t.Fatalf("level %d: %d matches, want %d", level, len(res.Matches), len(exact))
+		}
+		bound := relBound(level)
+		for i, m := range res.Matches {
+			if m.Index != exact[i].Index {
+				t.Fatalf("level %d: index mismatch at %d", level, i)
+			}
+			if exact[i].Value == 0 {
+				continue
+			}
+			rel := abs(m.Value-exact[i].Value) / abs(exact[i].Value)
+			if rel > bound {
+				t.Fatalf("level %d: point %d rel error %g > %g", level, i, rel, bound)
+			}
+		}
+	}
+}
+
+func relBound(level int) float64 {
+	// plod.RelErrorBound with slack.
+	fracBits := 8*(level+1) - 12
+	b := 1.0
+	for i := 0; i < fracBits; i++ {
+		b /= 2
+	}
+	return b * 0.5001 * 2 // centered fill halves the interval; slack
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPLoDReadsFewerBytes(t *testing.T) {
+	st, _, _ := buildTestStore(t, testConfig())
+	sc, _ := grid.NewRegion([]int{0, 0}, []int{32, 32})
+	full, err := st.Query(&query.Request{SC: &sc}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl2, err := st.Query(&query.Request{SC: &sc, PLoDLevel: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl2.BytesRead >= full.BytesRead {
+		t.Fatalf("PLoD-2 read %d bytes, full read %d — no I/O reduction", lvl2.BytesRead, full.BytesRead)
+	}
+	// 3 of 8 bytes plus index: the ratio should be well under 0.7.
+	ratio := float64(lvl2.BytesRead) / float64(full.BytesRead)
+	if ratio > 0.7 {
+		t.Errorf("PLoD-2 byte ratio %.2f too high", ratio)
+	}
+}
+
+func TestPLoDRejectedInFloatsMode(t *testing.T) {
+	iso := ISOConfig([]int{8, 8})
+	iso.NumBins = 10
+	st, _, _ := buildTestStore(t, iso)
+	sc, _ := grid.NewRegion([]int{0, 0}, []int{8, 8})
+	if _, err := st.Query(&query.Request{SC: &sc, PLoDLevel: 2}, 1); err == nil {
+		t.Fatal("PLoD accepted in floats mode")
+	}
+}
+
+func TestISALossyWithinBound(t *testing.T) {
+	isa := ISAConfig([]int{8, 8})
+	isa.NumBins = 10
+	isa.SampleSize = 512
+	st, data, shape := buildTestStore(t, isa)
+	sc, _ := grid.NewRegion([]int{0, 0}, []int{32, 32})
+	res, err := st.Query(&query.Request{SC: &sc}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := bruteForce(data, shape, &query.Request{SC: &sc})
+	if len(res.Matches) != len(exact) {
+		t.Fatalf("%d matches, want %d", len(res.Matches), len(exact))
+	}
+	var maxAbs float64
+	for _, v := range data {
+		if a := abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	for i, m := range res.Matches {
+		scale := abs(exact[i].Value)
+		if floor := maxAbs * 1e-6; scale < floor {
+			scale = floor
+		}
+		if abs(m.Value-exact[i].Value)/scale > 0.011 {
+			t.Fatalf("point %d: ISA error %v vs %v", i, m.Value, exact[i].Value)
+		}
+	}
+}
+
+func TestStorageAccounting(t *testing.T) {
+	// Storage-ratio claims need realistic unit sizes (hundreds of
+	// points per unit); a toy store would be dominated by per-piece
+	// framing overhead.
+	d := datagen.GTSLike(128, 128, 2)
+	v, _ := d.Var("phi")
+	fs := pfs.New(pfs.DefaultConfig())
+	cfg := DefaultConfig([]int{32, 32})
+	cfg.NumBins = 10
+	cfg.SampleSize = 4096
+	st, err := Build(fs, pfs.NewClock(), "mloc/storage", d.Shape, v.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := v.Data
+	raw := int64(len(data) * 8)
+	if st.DataBytes() <= 0 || st.IndexBytes() <= 0 {
+		t.Fatal("zero storage accounting")
+	}
+	if st.TotalBytes() != st.DataBytes()+st.IndexBytes() {
+		t.Fatal("TotalBytes inconsistent")
+	}
+	// COL-mode data should not exceed raw by much (plane 0 compresses,
+	// planes 1-6 raw).
+	if st.DataBytes() > raw {
+		t.Errorf("COL data %d exceeds raw %d", st.DataBytes(), raw)
+	}
+	// Light-weight index: well under FastBit-style 100%+.
+	if st.IndexBytes() > raw/2 {
+		t.Errorf("index %d exceeds half of raw %d — not light-weight", st.IndexBytes(), raw)
+	}
+	dataSizes, idxSizes := st.BinFileSizes()
+	var sumD, sumI int64
+	for i := range dataSizes {
+		sumD += dataSizes[i]
+		sumI += idxSizes[i]
+	}
+	if sumD != st.DataBytes() {
+		t.Error("bin data sizes do not sum to DataBytes")
+	}
+	if sumI >= st.IndexBytes() {
+		t.Error("bin index sizes should be below IndexBytes (meta excluded)")
+	}
+}
+
+func TestOpenRoundtrip(t *testing.T) {
+	data, shape := testData(t)
+	fs := pfs.New(pfs.DefaultConfig())
+	built, err := Build(fs, pfs.NewClock(), "mloc/phi", shape, data, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := Open(fs, pfs.NewClock(), "mloc/phi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opened.Shape().Equal(built.Shape()) || opened.NumBins() != built.NumBins() {
+		t.Fatal("reopened store differs")
+	}
+	if opened.Order().String() != built.Order().String() {
+		t.Fatal("order not persisted")
+	}
+	// Queries through the reopened store must agree.
+	lo, hi := datagen.Selectivity(data, 0.05, 3, 1024)
+	vc := binning.ValueConstraint{Min: lo, Max: hi}
+	req := &query.Request{VC: &vc}
+	a, err := built.Query(req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := opened.Query(req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, b.Matches, a.Matches, "reopened store query")
+
+	if _, err := Open(fs, pfs.NewClock(), "missing"); err == nil {
+		t.Error("open of missing store accepted")
+	}
+}
+
+func TestMetaMarshalRoundtrip(t *testing.T) {
+	st, _, _ := buildTestStore(t, testConfig())
+	raw := st.meta.marshal()
+	back, err := unmarshalStoreMeta(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.shape.Equal(st.meta.shape) {
+		t.Fatal("shape mismatch")
+	}
+	if len(back.bins) != len(st.meta.bins) {
+		t.Fatal("bin count mismatch")
+	}
+	for b := range back.bins {
+		if len(back.bins[b].units) != len(st.meta.bins[b].units) {
+			t.Fatalf("bin %d unit count mismatch", b)
+		}
+		for u := range back.bins[b].units {
+			got, want := back.bins[b].units[u], st.meta.bins[b].units[u]
+			if got.chunkID != want.chunkID || got.count != want.count ||
+				got.indexOff != want.indexOff || got.indexLen != want.indexLen {
+				t.Fatalf("bin %d unit %d meta mismatch", b, u)
+			}
+		}
+	}
+	// Corrupt cases.
+	if _, err := unmarshalStoreMeta(raw[:8]); err == nil {
+		t.Error("truncated meta accepted")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xFF
+	if _, err := unmarshalStoreMeta(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestQueryValidation(t *testing.T) {
+	st, _, _ := buildTestStore(t, testConfig())
+	if _, err := st.Query(&query.Request{}, 0); err == nil {
+		t.Error("ranks=0 accepted")
+	}
+	bad := binning.ValueConstraint{Min: 1, Max: 0}
+	if _, err := st.Query(&query.Request{VC: &bad}, 1); err == nil {
+		t.Error("inverted VC accepted")
+	}
+	if _, err := st.Query(&query.Request{PLoDLevel: 9}, 1); err == nil {
+		t.Error("bad PLoD level accepted")
+	}
+}
+
+func TestRoundRobinAssignmentSameResults(t *testing.T) {
+	st, data, shape := buildTestStore(t, testConfig())
+	lo, hi := datagen.Selectivity(data, 0.1, 13, 1024)
+	vc := binning.ValueConstraint{Min: lo, Max: hi}
+	req := &query.Request{VC: &vc}
+	colRes, err := st.Query(req, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetAssignment(AssignRoundRobin); err != nil {
+		t.Fatal(err)
+	}
+	rrRes, err := st.Query(req, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, rrRes.Matches, colRes.Matches, "round-robin assignment")
+	matchesEqual(t, colRes.Matches, bruteForce(data, shape, req), "column assignment")
+	if err := st.SetAssignment("bogus"); err == nil {
+		t.Error("bogus assignment accepted")
+	}
+}
+
+func TestCurveVariantsSameResults(t *testing.T) {
+	data, shape := testData(t)
+	sc, _ := grid.NewRegion([]int{4, 4}, []int{20, 28})
+	req := &query.Request{SC: &sc}
+	want := bruteForce(data, shape, req)
+	for _, curve := range []sfc.CurveKind{sfc.CurveHilbert, sfc.CurveZOrder, sfc.CurveRowMajor} {
+		cfg := testConfig()
+		cfg.Curve = curve
+		fs := pfs.New(pfs.DefaultConfig())
+		st, err := Build(fs, pfs.NewClock(), "mloc/phi", shape, data, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", curve, err)
+		}
+		res, err := st.Query(req, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", curve, err)
+		}
+		matchesEqual(t, res.Matches, want, string(curve))
+	}
+}
+
+func TestUnconstrainedQueryReturnsEverything(t *testing.T) {
+	st, data, shape := buildTestStore(t, testConfig())
+	res, err := st.Query(&query.Request{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, res.Matches, bruteForce(data, shape, &query.Request{}), "unconstrained")
+}
+
+func TestNonSquareGridAndEdgeChunks(t *testing.T) {
+	// Shapes not divisible by the chunk size exercise edge chunks.
+	d := datagen.GTSLike(33, 21, 9)
+	v, _ := d.Var("phi")
+	fs := pfs.New(pfs.DefaultConfig())
+	cfg := DefaultConfig([]int{8, 8})
+	cfg.NumBins = 7
+	cfg.SampleSize = 256
+	st, err := Build(fs, pfs.NewClock(), "mloc/edge", d.Shape, v.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := grid.NewRegion([]int{30, 15}, []int{33, 21})
+	req := &query.Request{SC: &sc}
+	res, err := st.Query(req, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, res.Matches, bruteForce(v.Data, d.Shape, req), "edge chunks")
+}
+
+func Test3DStore(t *testing.T) {
+	d := datagen.S3DLike(16, 4)
+	v, _ := d.Var("temp")
+	fs := pfs.New(pfs.DefaultConfig())
+	cfg := DefaultConfig([]int{8, 8, 8})
+	cfg.NumBins = 8
+	cfg.SampleSize = 512
+	st, err := Build(fs, pfs.NewClock(), "mloc/temp", d.Shape, v.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := datagen.Selectivity(v.Data, 0.05, 3, 1024)
+	vc := binning.ValueConstraint{Min: lo, Max: hi}
+	sc, _ := grid.NewRegion([]int{0, 4, 4}, []int{12, 12, 16})
+	req := &query.Request{VC: &vc, SC: &sc}
+	res, err := st.Query(req, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, res.Matches, bruteForce(v.Data, d.Shape, req), "3-D combined query")
+}

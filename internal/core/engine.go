@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mloc/internal/grid"
+	"mloc/internal/mpi"
+	"mloc/internal/pfs"
+	"mloc/internal/plod"
+	"mloc/internal/query"
+)
+
+// task is one unit of query work: one (bin, unit) pair plus what must
+// be done with it.
+type task struct {
+	bin  int
+	unit int
+	// needData: the unit's data pieces must be read (value retrieval,
+	// or VC filtering in a misaligned bin).
+	needData bool
+	// filterVC: the unit's values must be checked against the VC
+	// (misaligned bins only; aligned bins satisfy it by construction).
+	filterVC bool
+}
+
+// rankOut accumulates one rank's results.
+type rankOut struct {
+	matches []query.Match
+	time    query.Components
+	bytes   int64
+	blocks  int
+}
+
+// Query executes a request over the given number of parallel ranks,
+// following the paper's §III-D workflow: bin selection by VC bounds,
+// chunk selection by SC mapped through the storage curve, column-order
+// block assignment, per-rank fetch/decompress/filter, and a final
+// gather.
+func (s *Store) Query(req *query.Request, ranks int) (*query.Result, error) {
+	if err := req.Validate(s.meta.shape); err != nil {
+		return nil, err
+	}
+	if ranks < 1 {
+		return nil, fmt.Errorf("core: ranks %d < 1", ranks)
+	}
+	level := req.PLoDLevel
+	if level == 0 {
+		level = plod.MaxLevel
+	}
+	if s.meta.mode == ModeFloats && level != plod.MaxLevel {
+		return nil, fmt.Errorf("core: store mode %q does not support PLoD level %d (use the planes/COL mode)",
+			s.meta.mode, level)
+	}
+
+	tasks, binsAccessed := s.planTasks(req)
+	perRank := s.assignTasks(tasks, ranks)
+
+	outs := make([]rankOut, ranks)
+	clks := s.fs.NewClocks(ranks)
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		return s.runRank(clks[c.Rank()], perRank[c.Rank()], req, level, &outs[c.Rank()])
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &query.Result{BinsAccessed: binsAccessed}
+	var slowest float64
+	for i := range outs {
+		res.Matches = append(res.Matches, outs[i].matches...)
+		res.BytesRead += outs[i].bytes
+		res.BlocksRead += outs[i].blocks
+		if t := outs[i].time.Total(); t >= slowest {
+			slowest = t
+			res.Time = outs[i].time
+		}
+	}
+	res.Sort()
+	return res, nil
+}
+
+// planTasks selects bins by VC and chunks by SC, producing the task
+// list in column order (bin-major, then storage order within the bin).
+func (s *Store) planTasks(req *query.Request) ([]task, int) {
+	// Bin selection.
+	type binSel struct {
+		bin      int
+		filterVC bool
+	}
+	var sel []binSel
+	if req.VC != nil {
+		aligned, mis := s.scheme.SelectBins(*req.VC)
+		for _, b := range aligned {
+			sel = append(sel, binSel{bin: b})
+		}
+		for _, b := range mis {
+			sel = append(sel, binSel{bin: b, filterVC: true})
+		}
+		sort.Slice(sel, func(i, j int) bool { return sel[i].bin < sel[j].bin })
+	} else {
+		for b := range s.meta.bins {
+			sel = append(sel, binSel{bin: b})
+		}
+	}
+
+	// Chunk selection.
+	var chunkSet map[int64]bool
+	if req.SC != nil {
+		ids := s.chunks.OverlappingChunks(*req.SC)
+		chunkSet = make(map[int64]bool, len(ids))
+		for _, id := range ids {
+			chunkSet[id] = true
+		}
+	}
+
+	var tasks []task
+	binsTouched := 0
+	for _, bs := range sel {
+		bm := &s.meta.bins[bs.bin]
+		touched := false
+		for ui := range bm.units {
+			if chunkSet != nil && !chunkSet[bm.units[ui].chunkID] {
+				continue
+			}
+			needData := !req.IndexOnly || bs.filterVC
+			tasks = append(tasks, task{bin: bs.bin, unit: ui, needData: needData, filterVC: bs.filterVC})
+			touched = true
+		}
+		if touched {
+			binsTouched++
+		}
+	}
+	return tasks, binsTouched
+}
+
+// assignTasks splits the task list across ranks. Column order hands
+// each rank a contiguous slice (few bins, thus few files, per rank);
+// round-robin stripes tasks across ranks (the ablation alternative,
+// which maximizes file sharing and contention).
+func (s *Store) assignTasks(tasks []task, ranks int) [][]task {
+	out := make([][]task, ranks)
+	switch s.assignment {
+	case AssignRoundRobin:
+		for i, t := range tasks {
+			r := i % ranks
+			out[r] = append(out[r], t)
+		}
+	default: // AssignColumn
+		per := (len(tasks) + ranks - 1) / ranks
+		for r := 0; r < ranks; r++ {
+			lo := r * per
+			hi := lo + per
+			if lo > len(tasks) {
+				lo = len(tasks)
+			}
+			if hi > len(tasks) {
+				hi = len(tasks)
+			}
+			out[r] = tasks[lo:hi]
+		}
+	}
+	return out
+}
+
+// runRank executes one rank's tasks, grouped by bin so each bin's files
+// are opened once and reads coalesce.
+func (s *Store) runRank(clk *pfs.Clock, tasks []task, req *query.Request, level int, out *rankOut) error {
+	for lo := 0; lo < len(tasks); {
+		hi := lo + 1
+		for hi < len(tasks) && tasks[hi].bin == tasks[lo].bin {
+			hi++
+		}
+		if err := s.processBin(clk, tasks[lo:hi], req, level, out); err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// extent is a byte range in a file.
+type extent struct{ off, length int64 }
+
+// processBin handles one rank's tasks within a single bin.
+func (s *Store) processBin(clk *pfs.Clock, tasks []task, req *query.Request, level int, out *rankOut) error {
+	bin := tasks[0].bin
+	bm := &s.meta.bins[bin]
+	idxPath := binIndexPath(s.prefix, bin)
+	dataPath := binDataPath(s.prefix, bin)
+
+	// Index extents: every task needs its positional index.
+	idxExtents := make([]extent, 0, len(tasks))
+	needAnyData := false
+	for _, t := range tasks {
+		u := &bm.units[t.unit]
+		idxExtents = append(idxExtents, extent{u.indexOff, u.indexLen})
+		if t.needData {
+			needAnyData = true
+		}
+	}
+	t0 := clk.Now()
+	if err := s.fs.Open(clk, idxPath); err != nil {
+		return err
+	}
+	idxMap, ioBytes, err := readCoalesced(s.fs, clk, idxPath, idxExtents)
+	if err != nil {
+		return err
+	}
+	out.bytes += ioBytes
+
+	// Data extents for the required pieces.
+	nPlanes := plod.PlanesForLevel(level)
+	var dataMap *extentMap
+	if needAnyData {
+		if err := s.fs.Open(clk, dataPath); err != nil {
+			return err
+		}
+		var dataExtents []extent
+		for _, t := range tasks {
+			if !t.needData {
+				continue
+			}
+			u := &bm.units[t.unit]
+			if s.meta.mode == ModePlanes {
+				for p := 0; p < nPlanes; p++ {
+					dataExtents = append(dataExtents, extent{u.pieceOff[p], u.pieceLen[p]})
+				}
+			} else {
+				dataExtents = append(dataExtents, extent{u.pieceOff[0], u.pieceLen[0]})
+			}
+		}
+		dataMap, ioBytes, err = readCoalesced(s.fs, clk, dataPath, dataExtents)
+		if err != nil {
+			return err
+		}
+		out.bytes += ioBytes
+	}
+	out.time.IO += clk.Now() - t0
+
+	// Decode and emit.
+	for _, t := range tasks {
+		u := &bm.units[t.unit]
+		if err := s.emitUnit(clk, t, u, req, level, idxMap, dataMap, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitUnit decodes one unit's index (and data when needed) and appends
+// the qualifying matches.
+func (s *Store) emitUnit(clk *pfs.Clock, t task, u *unitMeta, req *query.Request, level int, idxMap, dataMap *extentMap, out *rankOut) error {
+	idxRaw, err := idxMap.slice(u.indexOff, u.indexLen)
+	if err != nil {
+		return fmt.Errorf("core: bin %d unit %d index: %w", t.bin, t.unit, err)
+	}
+	var offsets []int32
+	reconstruct := clk.MeasureCPU(func() {
+		offsets, err = decodeOffsets(idxRaw, int(u.count))
+	})
+	if err != nil {
+		return fmt.Errorf("core: bin %d unit %d index: %w", t.bin, t.unit, err)
+	}
+
+	var values []float64
+	var decompress float64
+	if t.needData {
+		values, decompress, err = s.decodeUnitValues(clk, u, level, dataMap)
+		if err != nil {
+			return fmt.Errorf("core: bin %d unit %d data: %w", t.bin, t.unit, err)
+		}
+		out.blocks++
+	}
+
+	// Map intra-chunk offsets to global indices and filter. The chunk's
+	// global strides are precomputed so the per-point mapping avoids
+	// repeated bounds-checked Linear calls — this loop dominates
+	// high-selectivity region queries.
+	reg := s.chunks.ChunkRegionByID(u.chunkID)
+	chunkInSC := req.SC == nil || regionInside(reg, *req.SC)
+	dims := s.meta.shape.Dims()
+	global := make([]int, dims)
+	strides := make([]int64, dims)
+	widths := make([]int64, dims)
+	strides[dims-1] = 1
+	for d := dims - 2; d >= 0; d-- {
+		strides[d] = strides[d+1] * int64(s.meta.shape[d+1])
+	}
+	var base int64
+	for d := 0; d < dims; d++ {
+		base += int64(reg.Lo[d]) * strides[d]
+		widths[d] = int64(reg.Hi[d] - reg.Lo[d])
+	}
+	reconstruct += clk.MeasureCPU(func() {
+		for i, off := range offsets {
+			// Decompose the intra-chunk offset and accumulate the
+			// global linear index in one pass.
+			rem := int64(off)
+			lin := base
+			for d := dims - 1; d >= 0; d-- {
+				l := rem % widths[d]
+				rem /= widths[d]
+				lin += l * strides[d]
+				if !chunkInSC {
+					global[d] = reg.Lo[d] + int(l)
+				}
+			}
+			if !chunkInSC && !req.SC.Contains(global) {
+				continue
+			}
+			var v float64
+			if values != nil {
+				v = values[i]
+				if t.filterVC && !req.VC.Contains(v) {
+					continue
+				}
+			}
+			m := query.Match{Index: lin}
+			if !req.IndexOnly {
+				m.Value = v
+			}
+			out.matches = append(out.matches, m)
+		}
+	})
+
+	out.time.Decompress += decompress
+	out.time.Reconstruct += reconstruct
+	return nil
+}
+
+// decodeUnitValues reconstructs the unit's values at the given PLoD
+// level (planes mode) or in full (floats mode), returning the scaled
+// decompress time it charged to clk.
+func (s *Store) decodeUnitValues(clk *pfs.Clock, u *unitMeta, level int, dataMap *extentMap) ([]float64, float64, error) {
+	count := int(u.count)
+	if s.meta.mode == ModeFloats {
+		raw, err := dataMap.slice(u.pieceOff[0], u.pieceLen[0])
+		if err != nil {
+			return nil, 0, err
+		}
+		var values []float64
+		d := clk.MeasureCPU(func() {
+			values, err = s.floatCodec.DecodeFloats(raw, make([]float64, 0, count))
+		})
+		if err != nil {
+			return nil, d, err
+		}
+		if len(values) != count {
+			return nil, d, fmt.Errorf("decoded %d values, want %d", len(values), count)
+		}
+		return values, d, nil
+	}
+
+	nPlanes := plod.PlanesForLevel(level)
+	planes := make([][]byte, nPlanes)
+	var decompress float64
+	for p := 0; p < nPlanes; p++ {
+		raw, err := dataMap.slice(u.pieceOff[p], u.pieceLen[p])
+		if err != nil {
+			return nil, decompress, err
+		}
+		want := count * plod.PlaneWidth(p)
+		if p < s.meta.compPlanes && u.rawPlanes&(1<<uint(p)) == 0 {
+			var dec []byte
+			decompress += clk.MeasureCPU(func() {
+				dec, err = s.byteCodec.DecodeBytes(raw, make([]byte, 0, want))
+			})
+			if err != nil {
+				return nil, decompress, err
+			}
+			planes[p] = dec
+		} else {
+			planes[p] = raw
+		}
+		if len(planes[p]) != want {
+			return nil, decompress, fmt.Errorf("plane %d has %d bytes, want %d", p, len(planes[p]), want)
+		}
+	}
+	var values []float64
+	decompress += clk.MeasureCPU(func() {
+		values = plod.Assemble(planes, level, count, plod.FillCentered, make([]float64, 0, count))
+	})
+	return values, decompress, nil
+}
+
+// decodeOffsets expands the delta-uvarint intra-chunk offsets. The
+// varint decode is inlined with a single-byte fast path because this
+// stream is the inner loop of every index read.
+func decodeOffsets(raw []byte, count int) ([]int32, error) {
+	out := make([]int32, count)
+	prev := int32(0)
+	pos := 0
+	n := len(raw)
+	for i := 0; i < count; i++ {
+		if pos >= n {
+			return nil, fmt.Errorf("truncated offset stream at entry %d", i)
+		}
+		b := raw[pos]
+		if b < 0x80 {
+			// Fast path: deltas are almost always < 128 (one bin's
+			// points inside a chunk sit a few positions apart).
+			pos++
+			prev += int32(b)
+			out[i] = prev
+			continue
+		}
+		var d uint64
+		var shift uint
+		for {
+			if pos >= n {
+				return nil, fmt.Errorf("truncated offset stream at entry %d", i)
+			}
+			c := raw[pos]
+			pos++
+			d |= uint64(c&0x7F) << shift
+			if c < 0x80 {
+				break
+			}
+			shift += 7
+			if shift > 35 {
+				return nil, fmt.Errorf("malformed offset varint at entry %d", i)
+			}
+		}
+		prev += int32(d)
+		out[i] = prev
+	}
+	if pos != n {
+		return nil, fmt.Errorf("offset stream has %d trailing bytes", n-pos)
+	}
+	return out, nil
+}
+
+// localCoords converts a row-major offset within a chunk region to
+// local coordinates.
+func localCoords(reg grid.Region, off int64, dst []int) {
+	for d := len(dst) - 1; d >= 0; d-- {
+		w := int64(reg.Hi[d] - reg.Lo[d])
+		dst[d] = int(off % w)
+		off /= w
+	}
+}
+
+// regionInside reports whether inner is fully contained in outer.
+func regionInside(inner, outer grid.Region) bool {
+	for d := range inner.Lo {
+		if inner.Lo[d] < outer.Lo[d] || inner.Hi[d] > outer.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// extentMap holds coalesced read buffers for extent lookups.
+type extentMap struct {
+	base []int64
+	bufs [][]byte
+}
+
+// slice returns the bytes for an extent previously covered by a
+// coalesced read.
+func (m *extentMap) slice(off, length int64) ([]byte, error) {
+	if length == 0 {
+		return nil, nil
+	}
+	i := sort.Search(len(m.base), func(i int) bool { return m.base[i] > off })
+	if i == 0 {
+		return nil, fmt.Errorf("extent [%d,%d) not loaded", off, off+length)
+	}
+	i--
+	rel := off - m.base[i]
+	if rel+length > int64(len(m.bufs[i])) {
+		return nil, fmt.Errorf("extent [%d,%d) exceeds loaded range", off, off+length)
+	}
+	return m.bufs[i][rel : rel+length], nil
+}
+
+// readCoalesced sorts and merges the extents and issues one PFS read
+// per merged extent, charging clk. Extents separated by gaps up to the
+// simulator's CoalesceGap are merged too: reading through a small gap
+// costs less than the seek it avoids, which is exactly the paper's
+// rationale for curve-ordered layouts (§III-B2).
+func readCoalesced(fs *pfs.Sim, clk *pfs.Clock, path string, extents []extent) (*extentMap, int64, error) {
+	if len(extents) == 0 {
+		return &extentMap{}, 0, nil
+	}
+	maxGap := fs.CoalesceGap()
+	sorted := append([]extent(nil), extents...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].off < sorted[j].off })
+	var merged []extent
+	cur := sorted[0]
+	for _, e := range sorted[1:] {
+		if e.length == 0 {
+			continue
+		}
+		if cur.length == 0 {
+			cur = e
+			continue
+		}
+		if e.off <= cur.off+cur.length+maxGap {
+			// Adjacent, overlapping, or within the economical gap:
+			// extend (gap bytes are read and paid for).
+			if end := e.off + e.length; end > cur.off+cur.length {
+				cur.length = end - cur.off
+			}
+			continue
+		}
+		merged = append(merged, cur)
+		cur = e
+	}
+	if cur.length > 0 {
+		merged = append(merged, cur)
+	}
+	m := &extentMap{base: make([]int64, 0, len(merged)), bufs: make([][]byte, 0, len(merged))}
+	var total int64
+	for _, e := range merged {
+		buf, err := fs.ReadAt(clk, path, e.off, e.length)
+		if err != nil {
+			return nil, total, err
+		}
+		m.base = append(m.base, e.off)
+		m.bufs = append(m.bufs, buf)
+		total += e.length
+	}
+	return m, total, nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mloc/internal/plod"
+	"mloc/internal/query"
+)
+
+// Plan describes how the engine would execute a request, without
+// touching the PFS — the EXPLAIN of the MLOC query engine. It exposes
+// the bin/chunk selection and the I/O the layout implies, which is what
+// the layout-optimization levels exist to minimize.
+type Plan struct {
+	// Order is the store's level priority order.
+	Order Order
+	// AlignedBins and MisalignedBins are the VC-selected bin counts;
+	// unconstrained requests select every bin as aligned.
+	AlignedBins, MisalignedBins int
+	// ChunksSelected is the number of chunks the SC maps to (all chunks
+	// when unconstrained).
+	ChunksSelected int64
+	// Units is the number of (bin, chunk) storage units touched.
+	Units int
+	// UnitsWithData is how many of those need their data pieces read
+	// (the rest are answered from the positional index alone).
+	UnitsWithData int
+	// PlanesRead is the PLoD plane count fetched per data unit (planes
+	// mode; 1 in floats mode).
+	PlanesRead int
+	// IndexBytes and DataBytes estimate the I/O volume from the unit
+	// metadata (exact, gap-merging aside).
+	IndexBytes, DataBytes int64
+	// Points is the total point count inside the touched units — the
+	// upper bound on matches before VC/SC filtering.
+	Points int64
+}
+
+// Explain plans a request against the store without executing it.
+func (s *Store) Explain(req *query.Request) (*Plan, error) {
+	if err := req.Validate(s.meta.shape); err != nil {
+		return nil, err
+	}
+	level := req.PLoDLevel
+	if level == 0 {
+		level = plod.MaxLevel
+	}
+	if s.meta.mode == ModeFloats && level != plod.MaxLevel {
+		return nil, fmt.Errorf("core: store mode %q does not support PLoD level %d", s.meta.mode, level)
+	}
+	tasks, _ := s.planTasks(req)
+
+	p := &Plan{Order: s.meta.order, PlanesRead: 1}
+	if s.meta.mode == ModePlanes {
+		p.PlanesRead = plod.PlanesForLevel(level)
+	}
+	if req.VC != nil {
+		aligned, mis := s.scheme.SelectBins(*req.VC)
+		p.AlignedBins, p.MisalignedBins = len(aligned), len(mis)
+	} else {
+		p.AlignedBins = s.NumBins()
+	}
+	if req.SC != nil {
+		p.ChunksSelected = int64(len(s.chunks.OverlappingChunks(*req.SC)))
+	} else {
+		p.ChunksSelected = s.chunks.NumChunks()
+	}
+	for _, t := range tasks {
+		u := &s.meta.bins[t.bin].units[t.unit]
+		p.Units++
+		p.Points += int64(u.count)
+		p.IndexBytes += u.indexLen
+		if t.needData {
+			p.UnitsWithData++
+			if s.meta.mode == ModePlanes {
+				for pl := 0; pl < p.PlanesRead; pl++ {
+					p.DataBytes += u.pieceLen[pl]
+				}
+			} else {
+				p.DataBytes += u.pieceLen[0]
+			}
+		}
+	}
+	return p, nil
+}
+
+// Render writes a human-readable plan.
+func (p *Plan) Render(w io.Writer) {
+	fmt.Fprintf(w, "plan (order %s):\n", p.Order)
+	fmt.Fprintf(w, "  bins: %d aligned, %d misaligned\n", p.AlignedBins, p.MisalignedBins)
+	fmt.Fprintf(w, "  chunks selected: %d\n", p.ChunksSelected)
+	fmt.Fprintf(w, "  units: %d touched, %d with data reads (%d planes each)\n",
+		p.Units, p.UnitsWithData, p.PlanesRead)
+	fmt.Fprintf(w, "  est. I/O: %d index bytes + %d data bytes over %d candidate points\n",
+		p.IndexBytes, p.DataBytes, p.Points)
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mloc/internal/binning"
+	"mloc/internal/datagen"
+	"mloc/internal/grid"
+	"mloc/internal/query"
+)
+
+func TestExplainMatchesExecution(t *testing.T) {
+	st, data, _ := buildTestStore(t, testConfig())
+	lo, hi := datagen.Selectivity(data, 0.1, 3, 1024)
+	vc := binning.ValueConstraint{Min: lo, Max: hi}
+	sc, _ := grid.NewRegion([]int{4, 4}, []int{24, 28})
+	req := &query.Request{VC: &vc, SC: &sc}
+
+	plan, err := st.Explain(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query(req, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The plan's data-unit count must equal the executed BlocksRead.
+	if plan.UnitsWithData != res.BlocksRead {
+		t.Errorf("plan UnitsWithData %d != executed BlocksRead %d", plan.UnitsWithData, res.BlocksRead)
+	}
+	// Bins in the plan must match BinsAccessed.
+	if plan.AlignedBins+plan.MisalignedBins < res.BinsAccessed {
+		t.Errorf("plan bins %d+%d < executed bins %d",
+			plan.AlignedBins, plan.MisalignedBins, res.BinsAccessed)
+	}
+	// Points bound the matches.
+	if int64(len(res.Matches)) > plan.Points {
+		t.Errorf("matches %d exceed plan's candidate points %d", len(res.Matches), plan.Points)
+	}
+	// Estimated bytes bound the actual reads from below (gap merging
+	// can only add bytes).
+	if res.BytesRead < plan.IndexBytes+plan.DataBytes {
+		t.Errorf("executed bytes %d below plan estimate %d",
+			res.BytesRead, plan.IndexBytes+plan.DataBytes)
+	}
+}
+
+func TestExplainIndexOnlySkipsData(t *testing.T) {
+	st, _, _ := buildTestStore(t, testConfig())
+	bounds := st.Scheme().Bounds()
+	vc := binning.ValueConstraint{Min: bounds[2], Max: bounds[5]}
+	plan, err := st.Explain(&query.Request{VC: &vc, IndexOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.MisalignedBins == 0 && plan.UnitsWithData != 0 {
+		t.Errorf("aligned-only index plan has %d data units", plan.UnitsWithData)
+	}
+	if plan.DataBytes != 0 && plan.MisalignedBins == 0 {
+		t.Errorf("aligned-only index plan estimates %d data bytes", plan.DataBytes)
+	}
+}
+
+func TestExplainPLoDPlanes(t *testing.T) {
+	st, _, _ := buildTestStore(t, testConfig())
+	sc, _ := grid.NewRegion([]int{0, 0}, []int{16, 16})
+	full, err := st.Explain(&query.Request{SC: &sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl2, err := st.Explain(&query.Request{SC: &sc, PLoDLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.PlanesRead != 7 || lvl2.PlanesRead != 2 {
+		t.Fatalf("PlanesRead = %d / %d, want 7 / 2", full.PlanesRead, lvl2.PlanesRead)
+	}
+	if lvl2.DataBytes >= full.DataBytes {
+		t.Errorf("PLoD-2 plan bytes %d not below full %d", lvl2.DataBytes, full.DataBytes)
+	}
+}
+
+func TestExplainValidation(t *testing.T) {
+	st, _, _ := buildTestStore(t, testConfig())
+	bad := binning.ValueConstraint{Min: 1, Max: 0}
+	if _, err := st.Explain(&query.Request{VC: &bad}); err == nil {
+		t.Error("inverted VC accepted")
+	}
+	iso := ISOConfig([]int{8, 8})
+	iso.NumBins = 6
+	isoStore, _, _ := buildTestStore(t, iso)
+	if _, err := isoStore.Explain(&query.Request{PLoDLevel: 2}); err == nil {
+		t.Error("PLoD plan accepted in floats mode")
+	}
+}
+
+func TestPlanRender(t *testing.T) {
+	st, _, _ := buildTestStore(t, testConfig())
+	plan, err := st.Explain(&query.Request{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	plan.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"plan (order V-M-S)", "bins:", "chunks selected", "est. I/O"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

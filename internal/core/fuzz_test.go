@@ -1,0 +1,50 @@
+package core
+
+import (
+	"testing"
+
+	"mloc/internal/datagen"
+	"mloc/internal/pfs"
+)
+
+// FuzzMetaUnmarshal: the store-metadata decoder must reject arbitrary
+// bytes with an error, never a panic — it parses catalog files that
+// could be corrupted on disk.
+func FuzzMetaUnmarshal(f *testing.F) {
+	d := datagen.GTSLike(16, 16, 1)
+	v, _ := d.Var("phi")
+	fs := pfs.New(pfs.DefaultConfig())
+	cfg := DefaultConfig([]int{8, 8})
+	cfg.NumBins = 4
+	cfg.SampleSize = 64
+	st, err := Build(fs, fs.NewClock(), "fz/phi", d.Shape, v.Data, cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(st.meta.marshal())
+	f.Add([]byte{})
+	f.Add([]byte{0x43, 0x4f, 0x4c, 0x4d}) // magic only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := unmarshalStoreMeta(data)
+		if err == nil && m == nil {
+			t.Fatal("nil meta without error")
+		}
+	})
+}
+
+// FuzzDecodeOffsets: the positional-index decoder must be panic-free on
+// arbitrary streams.
+func FuzzDecodeOffsets(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, 3)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, 1)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, raw []byte, count int) {
+		if count < 0 || count > 1<<16 {
+			return
+		}
+		out, err := decodeOffsets(raw, count)
+		if err == nil && len(out) != count {
+			t.Fatalf("decoded %d offsets, want %d", len(out), count)
+		}
+	})
+}

@@ -1,0 +1,289 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mloc/internal/grid"
+)
+
+// unitMeta locates one storage unit — the points of one chunk that fall
+// in one bin — inside the bin's index and data files. In planes mode a
+// unit has seven data pieces (one per PLoD byte plane); in floats mode
+// it has one.
+type unitMeta struct {
+	chunkID int64
+	count   int32
+	// indexOff/indexLen locate the unit's positional index (delta-varint
+	// intra-chunk offsets) in the bin's index file.
+	indexOff, indexLen int64
+	// pieceOff/pieceLen locate the data pieces in the bin's data file.
+	pieceOff []int64
+	pieceLen []int64
+	// rawPlanes has bit p set when plane p was stored raw even though
+	// the config asked for compression — the builder stores the smaller
+	// of the two forms, so tiny or incompressible pieces never inflate.
+	rawPlanes uint8
+}
+
+// binMeta describes one bin's subfiles and storage units, in storage
+// order (chunks sorted by the configured curve).
+type binMeta struct {
+	units []unitMeta
+	// unitByChunk maps chunkID to position in units.
+	unitByChunk map[int64]int
+	dataSize    int64
+	indexSize   int64
+}
+
+// storeMeta is the full persistent description of a built variable
+// store; it is serialized to <prefix>/meta and its size counts toward
+// the index overhead in the storage experiments.
+type storeMeta struct {
+	shape      grid.Shape
+	chunkSize  []int
+	order      Order
+	curve      string
+	mode       Mode
+	codecName  string
+	compPlanes int
+	binBounds  []float64
+	bins       []binMeta
+}
+
+const metaMagic = uint32(0x4d4c4f43) // "MLOC"
+
+// marshal serializes the metadata. Layout is a straightforward tagged
+// little-endian encoding; all experiments count its length as index
+// overhead so it must stay compact (offsets are varints).
+func (m *storeMeta) marshal() []byte {
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, metaMagic)
+	out = appendUvarint(out, uint64(len(m.shape)))
+	for _, d := range m.shape {
+		out = appendUvarint(out, uint64(d))
+	}
+	for _, d := range m.chunkSize {
+		out = appendUvarint(out, uint64(d))
+	}
+	out = appendString(out, m.order.String())
+	out = appendString(out, m.curve)
+	out = appendString(out, string(m.mode))
+	out = appendString(out, m.codecName)
+	out = appendUvarint(out, uint64(m.compPlanes))
+	out = appendUvarint(out, uint64(len(m.binBounds)))
+	for _, b := range m.binBounds {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(b))
+	}
+	out = appendUvarint(out, uint64(len(m.bins)))
+	for i := range m.bins {
+		bm := &m.bins[i]
+		out = appendUvarint(out, uint64(len(bm.units)))
+		var prevChunk int64
+		for j := range bm.units {
+			u := &bm.units[j]
+			// Chunk ids are ascending in curve order per bin only when
+			// the curve is row-major, so store deltas zig-zagged.
+			out = binary.AppendVarint(out, u.chunkID-prevChunk)
+			prevChunk = u.chunkID
+			out = appendUvarint(out, uint64(u.count))
+			out = appendUvarint(out, uint64(u.indexOff))
+			out = appendUvarint(out, uint64(u.indexLen))
+			out = append(out, u.rawPlanes)
+			out = appendUvarint(out, uint64(len(u.pieceOff)))
+			for p := range u.pieceOff {
+				out = appendUvarint(out, uint64(u.pieceOff[p]))
+				out = appendUvarint(out, uint64(u.pieceLen[p]))
+			}
+		}
+	}
+	return out
+}
+
+// unmarshalStoreMeta parses metadata written by marshal.
+func unmarshalStoreMeta(data []byte) (*storeMeta, error) {
+	r := &byteReader{data: data}
+	if magic := r.u32(); magic != metaMagic {
+		return nil, fmt.Errorf("core: bad meta magic %#x", magic)
+	}
+	m := &storeMeta{}
+	dims := int(r.uvarint())
+	if dims <= 0 || dims > 16 {
+		return nil, fmt.Errorf("core: implausible dims %d in meta", dims)
+	}
+	m.shape = make(grid.Shape, dims)
+	for d := range m.shape {
+		m.shape[d] = int(r.uvarint())
+	}
+	m.chunkSize = make([]int, dims)
+	for d := range m.chunkSize {
+		m.chunkSize[d] = int(r.uvarint())
+	}
+	orderStr := r.str()
+	order, err := ParseOrder(orderStr)
+	if err != nil {
+		return nil, fmt.Errorf("core: meta order: %w", err)
+	}
+	m.order = order
+	m.curve = r.str()
+	m.mode = Mode(r.str())
+	m.codecName = r.str()
+	m.compPlanes = int(r.uvarint())
+	// Every count below sizes an allocation, and the counts come from
+	// an untrusted file: bound each by what the remaining bytes could
+	// possibly encode, so corrupt metadata fails cleanly instead of
+	// triggering enormous allocations.
+	nb := int(r.uvarint())
+	if nb < 0 || nb > r.remaining()/8 {
+		return nil, fmt.Errorf("core: meta declares %d bin bounds with %d bytes left", nb, r.remaining())
+	}
+	m.binBounds = make([]float64, nb)
+	for i := range m.binBounds {
+		m.binBounds[i] = math.Float64frombits(r.u64())
+	}
+	nbins := int(r.uvarint())
+	if nbins < 0 || nbins > r.remaining() {
+		return nil, fmt.Errorf("core: meta declares %d bins with %d bytes left", nbins, r.remaining())
+	}
+	m.bins = make([]binMeta, nbins)
+	for i := range m.bins {
+		bm := &m.bins[i]
+		nunits := int(r.uvarint())
+		// A serialized unit takes at least 5 bytes (chunk delta, count,
+		// two index fields, raw-planes byte at one byte each).
+		if nunits < 0 || nunits > r.remaining()/5 {
+			return nil, fmt.Errorf("core: meta bin %d declares %d units with %d bytes left",
+				i, nunits, r.remaining())
+		}
+		bm.units = make([]unitMeta, nunits)
+		bm.unitByChunk = make(map[int64]int, nunits)
+		var prevChunk int64
+		for j := range bm.units {
+			u := &bm.units[j]
+			u.chunkID = prevChunk + r.varint()
+			prevChunk = u.chunkID
+			u.count = int32(r.uvarint())
+			u.indexOff = int64(r.uvarint())
+			u.indexLen = int64(r.uvarint())
+			u.rawPlanes = r.u8()
+			np := int(r.uvarint())
+			if np < 0 || np > r.remaining()/2 || np > 64 {
+				return nil, fmt.Errorf("core: meta unit declares %d pieces with %d bytes left",
+					np, r.remaining())
+			}
+			u.pieceOff = make([]int64, np)
+			u.pieceLen = make([]int64, np)
+			for p := 0; p < np; p++ {
+				u.pieceOff[p] = int64(r.uvarint())
+				u.pieceLen[p] = int64(r.uvarint())
+			}
+			bm.unitByChunk[u.chunkID] = j
+			bm.indexSize += u.indexLen
+			for p := range u.pieceLen {
+				bm.dataSize += u.pieceLen[p]
+			}
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("core: truncated meta: %w", r.err)
+	}
+	return m, nil
+}
+
+// byteReader is a cursor with sticky error for meta decoding.
+type byteReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *byteReader) u8() byte {
+	if r.err != nil || r.pos+1 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := r.data[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *byteReader) u32() uint32 {
+	if r.err != nil || r.pos+4 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.err != nil || r.pos+8 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *byteReader) str() string {
+	n := int(r.uvarint())
+	if r.err != nil || r.pos+n > len(r.data) {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+func (r *byteReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("unexpected end of buffer at %d", r.pos)
+	}
+}
+
+// remaining returns the unread byte count (0 after a decode error).
+func (r *byteReader) remaining() int {
+	if r.err != nil || r.pos > len(r.data) {
+		return 0
+	}
+	return len(r.data) - r.pos
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}

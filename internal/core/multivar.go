@@ -1,0 +1,289 @@
+package core
+
+import (
+	"fmt"
+
+	"mloc/internal/bitmap"
+	"mloc/internal/mpi"
+	"mloc/internal/pfs"
+	"mloc/internal/plod"
+	"mloc/internal/query"
+)
+
+// MultiVarRequest describes the paper's multi-variable access pattern
+// (§III-D4): spatial positions are selected by constraints on one
+// variable, then other variables' values are fetched at those
+// positions. E.g. "temperature where humidity > 90%".
+type MultiVarRequest struct {
+	// Select is the request evaluated on the selecting variable; its
+	// matches define the position set. It is forced to IndexOnly
+	// internally (only positions are needed).
+	Select query.Request
+	// FetchVars names the variables whose values are returned at the
+	// selected positions.
+	FetchVars []string
+}
+
+// MultiVarResult maps each fetched variable to its matches.
+type MultiVarResult struct {
+	// Positions is the bitmap of selected linear indices.
+	Positions *bitmap.Bitmap
+	// Values[var] holds the fetched matches for each requested variable.
+	Values map[string][]query.Match
+	// Time is the end-to-end component breakdown (selection plus the
+	// slowest fetch).
+	Time query.Components
+	// BytesRead sums PFS traffic across both phases.
+	BytesRead int64
+}
+
+// MultiVarQuery runs the two-phase multi-variable access across the
+// named stores: phase 1 answers the selection as a region-only query on
+// selectVar and synchronizes the resulting position bitmap (the paper's
+// light-weight bitmap index exchange); phase 2 retrieves each fetch
+// variable's values at those positions.
+//
+// All stores must share one grid shape.
+func MultiVarQuery(stores map[string]*Store, selectVar string, req MultiVarRequest, ranks int) (*MultiVarResult, error) {
+	sel, ok := stores[selectVar]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown selecting variable %q", selectVar)
+	}
+	for _, fv := range req.FetchVars {
+		st, ok := stores[fv]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown fetch variable %q", fv)
+		}
+		if !st.Shape().Equal(sel.Shape()) {
+			return nil, fmt.Errorf("core: variable %q shape %v differs from %q shape %v",
+				fv, st.Shape(), selectVar, sel.Shape())
+		}
+	}
+
+	// Phase 1: region-only selection. Ranks each produce a partial
+	// bitmap; an all-reduce OR synchronizes them (paper: "bitmaps
+	// derived by region queries from all processes are synchronized").
+	phase1 := req.Select
+	phase1.IndexOnly = true
+	selRes, err := sel.Query(&phase1, ranks)
+	if err != nil {
+		return nil, fmt.Errorf("core: selection on %q: %w", selectVar, err)
+	}
+	n := sel.Shape().Elems()
+	positions := bitmap.New(n)
+	for _, m := range selRes.Matches {
+		positions.Set(m.Index)
+	}
+
+	out := &MultiVarResult{
+		Positions: positions,
+		Values:    make(map[string][]query.Match, len(req.FetchVars)),
+		Time:      selRes.Time,
+		BytesRead: selRes.BytesRead,
+	}
+
+	// Phase 2: value retrieval on each fetch variable at the selected
+	// positions. The same index positions apply to every variable
+	// because the variables share the grid (paper: "indices derived by
+	// the first step can be directly used on other variables").
+	var fetchSlowest query.Components
+	for _, fv := range req.FetchVars {
+		fRes, err := stores[fv].FetchAt(positions, ranks)
+		if err != nil {
+			return nil, fmt.Errorf("core: fetch of %q: %w", fv, err)
+		}
+		out.Values[fv] = fRes.Matches
+		out.BytesRead += fRes.BytesRead
+		if fRes.Time.Total() > fetchSlowest.Total() {
+			fetchSlowest = fRes.Time
+		}
+	}
+	out.Time.Add(fetchSlowest)
+	return out, nil
+}
+
+// FetchAt retrieves the variable's values at the positions set in the
+// bitmap, reading only the storage units that contain selected points.
+func (s *Store) FetchAt(positions *bitmap.Bitmap, ranks int) (*query.Result, error) {
+	if positions.Len() != s.meta.shape.Elems() {
+		return nil, fmt.Errorf("core: bitmap length %d != grid %d", positions.Len(), s.meta.shape.Elems())
+	}
+	if ranks < 1 {
+		return nil, fmt.Errorf("core: ranks %d < 1", ranks)
+	}
+
+	// Determine the chunks containing selected positions.
+	chunkHits := make(map[int64]bool)
+	coords := make([]int, s.meta.shape.Dims())
+	positions.Each(func(i int64) {
+		coords = s.meta.shape.Coords(i, coords[:0])
+		chunkHits[s.chunks.ChunkIDOf(coords)] = true
+	})
+
+	// Build tasks over every bin's units in those chunks (a position's
+	// bin is unknown until its index entry is seen, so all bins of a
+	// hit chunk are candidates — their per-unit indices are small).
+	var tasks []task
+	for b := range s.meta.bins {
+		bm := &s.meta.bins[b]
+		for ui := range bm.units {
+			if chunkHits[bm.units[ui].chunkID] {
+				tasks = append(tasks, task{bin: b, unit: ui, needData: true})
+			}
+		}
+	}
+	perRank := s.assignTasks(tasks, ranks)
+
+	outs := make([]rankOut, ranks)
+	clks := s.fs.NewClocks(ranks)
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		return s.fetchRank(clks[c.Rank()], perRank[c.Rank()], positions, &outs[c.Rank()])
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &query.Result{}
+	var slowest float64
+	for i := range outs {
+		res.Matches = append(res.Matches, outs[i].matches...)
+		res.BytesRead += outs[i].bytes
+		res.BlocksRead += outs[i].blocks
+		if t := outs[i].time.Total(); t >= slowest {
+			slowest = t
+			res.Time = outs[i].time
+		}
+	}
+	res.Sort()
+	return res, nil
+}
+
+// fetchRank processes a rank's fetch tasks: per bin, read the unit
+// indices first, and only read data for units that actually contain
+// selected positions.
+func (s *Store) fetchRank(clk *pfs.Clock, tasks []task, positions *bitmap.Bitmap, out *rankOut) error {
+	dims := s.meta.shape.Dims()
+	local := make([]int, dims)
+	global := make([]int, dims)
+	for lo := 0; lo < len(tasks); {
+		hi := lo + 1
+		for hi < len(tasks) && tasks[hi].bin == tasks[lo].bin {
+			hi++
+		}
+		binTasks := tasks[lo:hi]
+		lo = hi
+
+		bin := binTasks[0].bin
+		bm := &s.meta.bins[bin]
+		idxPath := binIndexPath(s.prefix, bin)
+		dataPath := binDataPath(s.prefix, bin)
+
+		t0 := clk.Now()
+		if err := s.fs.Open(clk, idxPath); err != nil {
+			return err
+		}
+		idxExtents := make([]extent, 0, len(binTasks))
+		for _, t := range binTasks {
+			u := &bm.units[t.unit]
+			idxExtents = append(idxExtents, extent{u.indexOff, u.indexLen})
+		}
+		idxMap, ioBytes, err := readCoalesced(s.fs, clk, idxPath, idxExtents)
+		if err != nil {
+			return err
+		}
+		out.bytes += ioBytes
+		out.time.IO += clk.Now() - t0
+
+		// Decode indices; keep only units with selected positions.
+		type hitUnit struct {
+			t    task
+			hits []int // indices into the unit's point list
+			offs []int32
+		}
+		var hits []hitUnit
+		var decodeErr error
+		out.time.Reconstruct += clk.MeasureCPU(func() {
+			for _, t := range binTasks {
+				u := &bm.units[t.unit]
+				raw, err := idxMap.slice(u.indexOff, u.indexLen)
+				if err != nil {
+					decodeErr = err
+					return
+				}
+				offs, err := decodeOffsets(raw, int(u.count))
+				if err != nil {
+					decodeErr = err
+					return
+				}
+				reg := s.chunks.ChunkRegionByID(u.chunkID)
+				var hu hitUnit
+				for i, off := range offs {
+					localCoords(reg, int64(off), local)
+					for d := 0; d < dims; d++ {
+						global[d] = reg.Lo[d] + local[d]
+					}
+					if positions.Get(s.meta.shape.Linear(global)) {
+						hu.hits = append(hu.hits, i)
+					}
+				}
+				if hu.hits != nil {
+					hu.t = t
+					hu.offs = offs
+					hits = append(hits, hu)
+				}
+			}
+		})
+		if decodeErr != nil {
+			return decodeErr
+		}
+		if len(hits) == 0 {
+			continue
+		}
+
+		// Read and decode data only for hit units.
+		t1 := clk.Now()
+		if err := s.fs.Open(clk, dataPath); err != nil {
+			return err
+		}
+		var dataExtents []extent
+		for _, h := range hits {
+			u := &bm.units[h.t.unit]
+			if s.meta.mode == ModePlanes {
+				for p := 0; p < plod.NumPlanes; p++ {
+					dataExtents = append(dataExtents, extent{u.pieceOff[p], u.pieceLen[p]})
+				}
+			} else {
+				dataExtents = append(dataExtents, extent{u.pieceOff[0], u.pieceLen[0]})
+			}
+		}
+		dataMap, ioBytes, err := readCoalesced(s.fs, clk, dataPath, dataExtents)
+		if err != nil {
+			return err
+		}
+		out.bytes += ioBytes
+		out.time.IO += clk.Now() - t1
+
+		for _, h := range hits {
+			u := &bm.units[h.t.unit]
+			values, decompress, err := s.decodeUnitValues(clk, u, plod.MaxLevel, dataMap)
+			if err != nil {
+				return err
+			}
+			out.blocks++
+			out.time.Decompress += decompress
+			reg := s.chunks.ChunkRegionByID(u.chunkID)
+			out.time.Reconstruct += clk.MeasureCPU(func() {
+				for _, i := range h.hits {
+					localCoords(reg, int64(h.offs[i]), local)
+					for d := 0; d < dims; d++ {
+						global[d] = reg.Lo[d] + local[d]
+					}
+					out.matches = append(out.matches, query.Match{
+						Index: s.meta.shape.Linear(global),
+						Value: values[i],
+					})
+				}
+			})
+		}
+	}
+	return nil
+}

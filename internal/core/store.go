@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"mloc/internal/binning"
+	"mloc/internal/compress"
+	"mloc/internal/grid"
+	"mloc/internal/pfs"
+	"mloc/internal/sfc"
+)
+
+// Store is a built MLOC variable store: per-bin subfiles on the PFS
+// plus in-memory metadata (the catalog). It is safe for concurrent
+// queries.
+type Store struct {
+	fs         *pfs.Sim
+	prefix     string
+	meta       *storeMeta
+	chunks     *grid.Chunking
+	scheme     *binning.Scheme
+	curve      sfc.Curve
+	byteCodec  compress.ByteCodec
+	floatCodec compress.FloatCodec
+	assignment Assignment
+}
+
+// newStore assembles the runtime view over metadata.
+func newStore(fs *pfs.Sim, prefix string, meta *storeMeta, bc compress.ByteCodec, fc compress.FloatCodec, assign Assignment) (*Store, error) {
+	chunks, err := grid.NewChunking(meta.shape, meta.chunkSize)
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := binning.FromBounds(meta.binBounds)
+	if err != nil {
+		return nil, err
+	}
+	if scheme.NumBins() != len(meta.bins) {
+		return nil, fmt.Errorf("core: meta has %d bins but %d bounds-derived bins",
+			len(meta.bins), scheme.NumBins())
+	}
+	curve, err := newChunkCurve(sfc.CurveKind(meta.curve), chunks)
+	if err != nil {
+		return nil, err
+	}
+	if assign == "" {
+		assign = AssignColumn
+	}
+	return &Store{
+		fs:         fs,
+		prefix:     prefix,
+		meta:       meta,
+		chunks:     chunks,
+		scheme:     scheme,
+		curve:      curve,
+		byteCodec:  bc,
+		floatCodec: fc,
+		assignment: assign,
+	}, nil
+}
+
+// Open loads a previously built store from the PFS, charging the meta
+// read to clk. Codecs are reconstructed from the recorded names with
+// default parameters.
+func Open(fs *pfs.Sim, clk *pfs.Clock, prefix string) (*Store, error) {
+	raw, err := fs.ReadFile(clk, metaPath(prefix))
+	if err != nil {
+		return nil, err
+	}
+	meta, err := unmarshalStoreMeta(raw)
+	if err != nil {
+		return nil, err
+	}
+	var bc compress.ByteCodec
+	var fc compress.FloatCodec
+	switch meta.mode {
+	case ModePlanes:
+		bc, err = compress.NewByteCodec(meta.codecName)
+	case ModeFloats:
+		fc, err = compress.NewFloatCodec(meta.codecName)
+	default:
+		return nil, fmt.Errorf("core: meta has unknown mode %q", meta.mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return newStore(fs, prefix, meta, bc, fc, AssignColumn)
+}
+
+// Shape returns the variable's grid shape.
+func (s *Store) Shape() grid.Shape { return s.meta.shape }
+
+// NumBins returns the bin count.
+func (s *Store) NumBins() int { return len(s.meta.bins) }
+
+// Order returns the level priority order the store was built with.
+func (s *Store) Order() Order { return s.meta.order }
+
+// Mode returns the storage mode.
+func (s *Store) Mode() Mode { return s.meta.mode }
+
+// SetAssignment overrides the block-to-rank assignment policy (used by
+// the assignment ablation).
+func (s *Store) SetAssignment(a Assignment) error {
+	if a != AssignColumn && a != AssignRoundRobin {
+		return fmt.Errorf("core: unknown assignment %q", a)
+	}
+	s.assignment = a
+	return nil
+}
+
+// DataBytes returns the total size of all bin data subfiles.
+func (s *Store) DataBytes() int64 {
+	var total int64
+	for i := range s.meta.bins {
+		total += s.meta.bins[i].dataSize
+	}
+	return total
+}
+
+// IndexBytes returns the total index overhead: bin index subfiles plus
+// the serialized catalog metadata — everything beyond the data itself,
+// matching Table I's "Index size" accounting.
+func (s *Store) IndexBytes() int64 {
+	var total int64
+	for i := range s.meta.bins {
+		total += s.meta.bins[i].indexSize
+	}
+	if sz, err := s.fs.Size(metaPath(s.prefix)); err == nil {
+		total += sz
+	}
+	return total
+}
+
+// TotalBytes returns data + index footprint.
+func (s *Store) TotalBytes() int64 { return s.DataBytes() + s.IndexBytes() }
+
+// BinFileSizes returns each bin's (data, index) subfile sizes — the
+// subfiling balance diagnostic.
+func (s *Store) BinFileSizes() (data, index []int64) {
+	data = make([]int64, len(s.meta.bins))
+	index = make([]int64, len(s.meta.bins))
+	for i := range s.meta.bins {
+		data[i] = s.meta.bins[i].dataSize
+		index[i] = s.meta.bins[i].indexSize
+	}
+	return data, index
+}
+
+// Scheme exposes the bin boundaries (read-only) for diagnostics.
+func (s *Store) Scheme() *binning.Scheme { return s.scheme }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mloc/internal/analysis"
+	"mloc/internal/plod"
+)
+
+// Table6 reproduces the PLoD accuracy measurement: equal-width
+// histogram disagreement for the S3D variables vu/vv/vw at 2-, 3- and
+// 4-byte PLoDs, and K-means misclassification on the joint (vv, vw)
+// points. Histogram edges and K-means initial centroids come from the
+// original data, exactly as the paper's protocol prescribes.
+func Table6(p Params) (*TableResult, error) {
+	p.normalize()
+	w := s3dWorkload(false, p.Seed)
+
+	vars := []string{"vu", "vv", "vw"}
+	orig := make(map[string][]float64, len(vars))
+	for _, name := range vars {
+		v, err := w.ds.Var(name)
+		if err != nil {
+			return nil, err
+		}
+		orig[name] = v.Data
+	}
+
+	const histBins = 100
+	const kClusters = 8
+	const kIters = 100
+
+	hists := make(map[string]*analysis.EqualWidthHistogram, len(vars))
+	for _, name := range vars {
+		h, err := analysis.NewEqualWidthHistogram(orig[name], histBins)
+		if err != nil {
+			return nil, err
+		}
+		hists[name] = h
+	}
+
+	// Reference K-means on original (vv, vw).
+	origPts, err := analysis.Columns(orig["vv"], orig["vw"])
+	if err != nil {
+		return nil, err
+	}
+	// Both clusterings below use the same seed, so the original and
+	// degraded runs initialize from the same point indices — the
+	// degraded copies of those points differ only by the PLoD rounding,
+	// which keeps cluster identities in correspondence across runs.
+	refKM, err := analysis.KMeans(origPts, kClusters, kIters, p.Seed, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &TableResult{
+		Title:  "Table VI: error rates of data analysis on different PLoDs (S3D)",
+		Header: []string{"Num Bytes", "Hist vu", "Hist vv", "Hist vw", "K-means vv+vw"},
+		Notes: []string{
+			fmt.Sprintf("histogram: %d equal-width bins built on original data; error = fraction of points changing bin", histBins),
+			fmt.Sprintf("K-means: k=%d, %d iterations, shared initial centroids; error = fraction of points changing cluster", kClusters, kIters),
+		},
+	}
+
+	for _, nbytes := range []int{2, 3, 4} {
+		level := plodLevelForBytes(nbytes)
+		degraded := make(map[string][]float64, len(vars))
+		for _, name := range vars {
+			degraded[name] = degrade(orig[name], level)
+		}
+		row := []string{fmt.Sprintf("%d", nbytes)}
+		for _, name := range vars {
+			rate, err := hists[name].DisagreementRate(orig[name], degraded[name])
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtPct(rate))
+		}
+		degPts, err := analysis.Columns(degraded["vv"], degraded["vw"])
+		if err != nil {
+			return nil, err
+		}
+		degKM, err := analysis.KMeans(degPts, kClusters, kIters, p.Seed, nil)
+		if err != nil {
+			return nil, err
+		}
+		rate, err := analysis.MisclassificationRate(refKM, degKM)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, fmtPct(rate))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// degrade round-trips values through a PLoD level with centered fill.
+func degrade(values []float64, level int) []float64 {
+	planes := plod.Split(values)
+	ps := make([][]byte, plod.NumPlanes)
+	for i := range planes {
+		ps[i] = planes[i]
+	}
+	return plod.Assemble(ps, level, len(values), plod.FillCentered, make([]float64, 0, len(values)))
+}
+
+// fmtPct renders a fraction as a percentage with adaptive precision,
+// matching the paper's mixed "8.241%" / "6.5E-3%" style.
+func fmtPct(f float64) string {
+	pct := f * 100
+	switch {
+	case pct == 0:
+		return "0%"
+	case pct < 0.001:
+		return fmt.Sprintf("%.1E%%", pct)
+	case pct < 1:
+		return fmt.Sprintf("%.3f%%", pct)
+	default:
+		return fmt.Sprintf("%.3f%%", pct)
+	}
+}

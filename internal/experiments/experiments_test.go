@@ -1,0 +1,219 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fastParams keeps the smoke tests quick: one query per cell.
+func fastParams() Params {
+	return Params{Queries: 1, Ranks: 4, Seed: 3}
+}
+
+// renderOK checks a table renders non-trivially.
+func renderOK(t *testing.T, tab *TableResult, wantRows int) string {
+	t.Helper()
+	if len(tab.Rows) != wantRows {
+		t.Fatalf("%s: %d rows, want %d", tab.Title, len(tab.Rows), wantRows)
+	}
+	for i, row := range tab.Rows {
+		if len(row) != len(tab.Header) {
+			t.Fatalf("%s: row %d has %d cells, header has %d", tab.Title, i, len(row), len(tab.Header))
+		}
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, tab.Title) {
+		t.Fatalf("render missing title")
+	}
+	return out
+}
+
+func cellValue(t *testing.T, tab *TableResult, rowName, col string) float64 {
+	t.Helper()
+	ci := -1
+	for i, h := range tab.Header {
+		if h == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		t.Fatalf("%s: no column %q", tab.Title, col)
+	}
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[0], rowName) {
+			s := strings.Fields(row[ci])[0]
+			s = strings.TrimSuffix(s, "%")
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				t.Fatalf("%s: cell %s/%s = %q not numeric", tab.Title, rowName, col, row[ci])
+			}
+			return v
+		}
+	}
+	t.Fatalf("%s: no row %q", tab.Title, rowName)
+	return 0
+}
+
+func TestTable1Shape(t *testing.T) {
+	tab, err := Table1(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 6)
+
+	// Paper-shape assertions: ISA total far below raw; FastBit total far
+	// above; MLOC lossless variants near raw.
+	isa := cellValue(t, tab, "MLOC-ISA", "Total/raw")
+	fb := cellValue(t, tab, "FastBit", "Total/raw")
+	col := cellValue(t, tab, "MLOC-COL", "Total/raw")
+	if isa > 0.8 {
+		t.Errorf("ISA total/raw = %v, want well under 1 (paper: 0.38)", isa)
+	}
+	if fb < 1.2 {
+		t.Errorf("FastBit total/raw = %v, want well above 1 (paper: 2.25)", fb)
+	}
+	if col < 0.5 || col > 1.4 {
+		t.Errorf("COL total/raw = %v, want near 1 (paper: 1.01)", col)
+	}
+	if isa >= fb {
+		t.Error("ISA should be far smaller than FastBit")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab, err := Table2(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 6)
+	// Region queries: every MLOC variant beats seq-scan, FastBit and
+	// SciDB by a wide margin (paper Table II).
+	for _, ds := range []string{"1% GTS", "1% S3D"} {
+		col := cellValue(t, tab, "MLOC-COL", ds)
+		seq := cellValue(t, tab, "Seq. Scan", ds)
+		fb := cellValue(t, tab, "FastBit", ds)
+		sci := cellValue(t, tab, "SciDB", ds)
+		if col*3 > seq {
+			t.Errorf("%s: MLOC-COL %.2fs not clearly faster than seq-scan %.2fs", ds, col, seq)
+		}
+		if col*3 > fb {
+			t.Errorf("%s: MLOC-COL %.2fs not clearly faster than FastBit %.2fs", ds, col, fb)
+		}
+		if col*3 > sci {
+			t.Errorf("%s: MLOC-COL %.2fs not clearly faster than SciDB %.2fs", ds, col, sci)
+		}
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab, err := Table3(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 6)
+	// Value queries: FastBit and SciDB are the clear losers; seq-scan is
+	// competitive (paper Table III).
+	for _, ds := range []string{"0.1% GTS"} {
+		col := cellValue(t, tab, "MLOC-COL", ds)
+		fb := cellValue(t, tab, "FastBit", ds)
+		if col > fb {
+			t.Errorf("%s: MLOC-COL %.2fs slower than FastBit %.2fs", ds, col, fb)
+		}
+	}
+}
+
+func TestTable6Shape(t *testing.T) {
+	tab, err := Table6(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 3)
+	// Error rates must fall steeply with bytes (paper Table VI).
+	hist2 := cellValue(t, tab, "2", "Hist vu")
+	hist3 := cellValue(t, tab, "3", "Hist vu")
+	hist4 := cellValue(t, tab, "4", "Hist vu")
+	if !(hist2 > hist3 && hist3 > hist4) {
+		t.Errorf("histogram error not decreasing: %v %v %v", hist2, hist3, hist4)
+	}
+	if hist3 > 0.5 {
+		t.Errorf("3-byte histogram error %v%% too large (paper: 0.029%%)", hist3)
+	}
+}
+
+func TestTable7Shape(t *testing.T) {
+	p := fastParams()
+	tab, err := Table7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+	// V-M-S wins PLoD access; V-S-M wins full-precision (paper Table
+	// VII). With one query the margin can be noisy, so assert only the
+	// PLoD direction, which is structural (plane-major contiguity).
+	vmsPlod := cellValue(t, tab, "V-M-S", "3-byte PLoD access")
+	vsmPlod := cellValue(t, tab, "V-S-M", "3-byte PLoD access")
+	if vmsPlod > vsmPlod {
+		t.Errorf("V-M-S PLoD access %.2fs slower than V-S-M %.2fs", vmsPlod, vsmPlod)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	tab, err := Figure8(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 4)
+	// I/O time must grow with PLoD level (paper Fig. 8).
+	io2 := cellValue(t, tab, "level 2", "I/O")
+	ioFull := cellValue(t, tab, "full", "I/O")
+	if io2 >= ioFull {
+		t.Errorf("PLoD-2 I/O %.3fs not below full-precision I/O %.3fs", io2, ioFull)
+	}
+}
+
+func TestAblationPLoDFillShape(t *testing.T) {
+	tab, err := AblationPLoDFill(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 3)
+	for _, nbytes := range []string{"2", "3", "4"} {
+		c := cellValue(t, tab, nbytes, "Centered 0x7F/0xFF")
+		z := cellValue(t, tab, nbytes, "Zero fill")
+		if c >= z {
+			t.Errorf("%s bytes: centered fill error %v%% not below zero fill %v%%", nbytes, c, z)
+		}
+	}
+}
+
+func TestAblationBinningShape(t *testing.T) {
+	tab, err := AblationBinning(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+	efImb := cellValue(t, tab, string("equal-frequency"), "Max/mean bin size")
+	ewImb := cellValue(t, tab, string("equal-width"), "Max/mean bin size")
+	if efImb >= ewImb {
+		t.Errorf("equal-frequency imbalance %v not below equal-width %v", efImb, ewImb)
+	}
+}
+
+func TestAblationFileOrgShape(t *testing.T) {
+	tab, err := AblationFileOrg(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+	// Subfiling with value bins must answer selective region queries
+	// faster than the single shared file (which loses bin selectivity).
+	sub := cellValue(t, tab, "100 bins", "Region query (s)")
+	shared := cellValue(t, tab, "1 bin", "Region query (s)")
+	if sub >= shared {
+		t.Errorf("subfiled %.3fs not faster than shared-file %.3fs", sub, shared)
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import "testing"
+
+// The large-scale experiments are expensive; skip them in -short runs.
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale experiment")
+	}
+	tab, err := Figure6(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 4)
+	// The paper's trade-off: ISA has the least I/O and the most
+	// decompression among MLOC variants.
+	isaIO := cellValue(t, tab, "MLOC-ISA", "I/O")
+	colIO := cellValue(t, tab, "MLOC-COL", "I/O")
+	isaDec := cellValue(t, tab, "MLOC-ISA", "Decompress")
+	colDec := cellValue(t, tab, "MLOC-COL", "Decompress")
+	if isaIO >= colIO {
+		t.Errorf("ISA I/O %.2f not below COL %.2f", isaIO, colIO)
+	}
+	if isaDec <= colDec {
+		t.Errorf("ISA decompress %.2f not above COL %.2f", isaDec, colDec)
+	}
+	// Seq-scan spends essentially everything on I/O.
+	seqDec := cellValue(t, tab, "Seq. Scan", "Decompress")
+	if seqDec > 0.1 {
+		t.Errorf("seq-scan decompress %.2f should be ~0", seqDec)
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale experiment")
+	}
+	p := fastParams()
+	tab, err := Figure7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 5)
+	// Compute components must shrink as ranks grow (paper Fig. 7);
+	// measured CPU is noisy, so compare the 8-rank and 128-rank
+	// endpoints with slack.
+	dec8 := cellValue(t, tab, "8", "Decompress")
+	dec128 := cellValue(t, tab, "128", "Decompress")
+	if dec128 > dec8 {
+		t.Errorf("decompress did not shrink with ranks: %.2f -> %.2f", dec8, dec128)
+	}
+	// I/O must NOT improve with ranks (saturated OSTs).
+	io8 := cellValue(t, tab, "8", "I/O")
+	io128 := cellValue(t, tab, "128", "I/O")
+	if io128 < io8*0.8 {
+		t.Errorf("I/O improved with ranks (%.2f -> %.2f); contention model broken", io8, io128)
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale experiment")
+	}
+	tab, err := Table4(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 4)
+	col := cellValue(t, tab, "MLOC-COL", "1% GTS")
+	seq := cellValue(t, tab, "Seq. Scan", "1% GTS")
+	if col*5 > seq {
+		t.Errorf("512 GB region query: MLOC-COL %.0fs not ≫ faster than seq %.0fs", col, seq)
+	}
+	// Seq-scan must be in the full-scan regime (≈512 GB / 400 MB/s ≈ 1300s).
+	if seq < 800 || seq > 4000 {
+		t.Errorf("512 GB seq-scan %.0fs outside full-scan regime", seq)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale experiment")
+	}
+	tab, err := Table5(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 4)
+	// The paper's 512 GB value-query headline: MLOC-ISA beats seq-scan
+	// at 0.1% selectivity.
+	isa := cellValue(t, tab, "MLOC-ISA", "0.1% GTS")
+	seq := cellValue(t, tab, "Seq. Scan", "0.1% GTS")
+	if isa >= seq {
+		t.Errorf("0.1%% GTS: MLOC-ISA %.1fs not below seq-scan %.1fs", isa, seq)
+	}
+}
+
+func TestAblationCurveShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale experiment")
+	}
+	tab, err := AblationCurve(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 3)
+	h := cellValue(t, tab, "hilbert", "I/O (s)")
+	r := cellValue(t, tab, "rowmajor", "I/O (s)")
+	if h > r*1.1 {
+		t.Errorf("Hilbert I/O %.2f clearly worse than row-major %.2f", h, r)
+	}
+}
+
+func TestAblationAssignmentShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale experiment")
+	}
+	tab, err := AblationAssignment(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	renderOK(t, tab, 2)
+	col := cellValue(t, tab, "column", "Query time (s)")
+	rr := cellValue(t, tab, "roundrobin", "Query time (s)")
+	if col >= rr {
+		t.Errorf("column order %.2fs not faster than round-robin %.2fs", col, rr)
+	}
+}
+
+func TestExtensionMultiresShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-scale experiment")
+	}
+	tab, err := ExtensionMultires(fastParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("only %d rows", len(tab.Rows))
+	}
+	// The paper's qualitative claim: subset reads are far cheaper in
+	// bytes but carry percent-level error; PLoD level 2+ reads more but
+	// keeps error tiny.
+	plodFrac := cellValue(t, tab, "PLoD", "Fraction")
+	subFrac := cellValue(t, tab, "Subset", "Fraction")
+	if subFrac >= plodFrac {
+		t.Errorf("subset fraction %.3f not below PLoD fraction %.3f", subFrac, plodFrac)
+	}
+	plodErr := cellValue(t, tab, "PLoD", "Mean rel. error")
+	subErr := cellValue(t, tab, "Subset", "Mean rel. error")
+	if plodErr >= subErr {
+		t.Errorf("PLoD error %.2e not below subset error %.2e", plodErr, subErr)
+	}
+}

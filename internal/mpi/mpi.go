@@ -1,0 +1,185 @@
+// Package mpi provides a goroutine-based SPMD runtime standing in for
+// MPI in MLOC's parallel query engine (paper §III-D). Each "rank" is a
+// goroutine executing the same body; the package supplies the
+// bulk-synchronous collectives the paper's engine uses: barrier,
+// gather, all-gather, and all-reduce (including the bitmap OR used for
+// multi-variable query index synchronization).
+//
+// The runtime preserves the paper's decomposition and synchronization
+// structure exactly; only the transport differs (shared memory instead
+// of a network), which is irrelevant to the layout experiments because
+// communication volume is tracked separately from the PFS cost model.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Comm is one rank's handle onto the communicator, analogous to an MPI
+// communicator plus the caller's rank. A Comm is only valid inside the
+// body passed to Run and must not be shared across goroutines.
+type Comm struct {
+	rank  int
+	world *world
+}
+
+type world struct {
+	size int
+	bar  *cyclicBarrier
+	mu   sync.Mutex
+	slot []any
+}
+
+// Run executes body on size concurrent ranks and waits for all of them.
+// Errors from ranks are joined; a panic in any rank propagates after
+// the others are released (panics are converted to errors to avoid
+// deadlocking collectives).
+func Run(size int, body func(c *Comm) error) error {
+	if size < 1 {
+		return fmt.Errorf("mpi: size must be >= 1, got %d", size)
+	}
+	w := &world{
+		size: size,
+		bar:  newCyclicBarrier(size),
+		slot: make([]any, size),
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, p)
+					// Release peers blocked on the barrier so Run can
+					// return the error instead of deadlocking.
+					w.bar.abort()
+				}
+			}()
+			errs[rank] = body(&Comm{rank: rank, world: w})
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error { return c.world.bar.await() }
+
+// AllGather deposits each rank's value and returns the slice of all
+// ranks' values, indexed by rank, on every rank.
+func AllGather[T any](c *Comm, v T) ([]T, error) {
+	c.world.mu.Lock()
+	c.world.slot[c.rank] = v
+	c.world.mu.Unlock()
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	out := make([]T, c.world.size)
+	c.world.mu.Lock()
+	for i := range out {
+		val, ok := c.world.slot[i].(T)
+		if !ok {
+			c.world.mu.Unlock()
+			return nil, fmt.Errorf("mpi: rank %d deposited %T, want %T", i, c.world.slot[i], out[i])
+		}
+		out[i] = val
+	}
+	c.world.mu.Unlock()
+	// Second barrier: nobody reuses the slots for the next collective
+	// until everyone has read this round.
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Gather returns all ranks' values on root (ordered by rank) and nil on
+// the other ranks.
+func Gather[T any](c *Comm, root int, v T) ([]T, error) {
+	if root < 0 || root >= c.world.size {
+		return nil, fmt.Errorf("mpi: root %d out of [0,%d)", root, c.world.size)
+	}
+	all, err := AllGather(c, v)
+	if err != nil {
+		return nil, err
+	}
+	if c.rank != root {
+		return nil, nil
+	}
+	return all, nil
+}
+
+// AllReduce combines all ranks' values with fn (assumed associative and
+// commutative) and returns the result on every rank.
+func AllReduce[T any](c *Comm, v T, fn func(a, b T) T) (T, error) {
+	all, err := AllGather(c, v)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	acc := all[0]
+	for _, x := range all[1:] {
+		acc = fn(acc, x)
+	}
+	return acc, nil
+}
+
+// cyclicBarrier is a reusable N-party barrier with abort support.
+type cyclicBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     uint64
+	aborted bool
+}
+
+func newCyclicBarrier(n int) *cyclicBarrier {
+	b := &cyclicBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// ErrAborted reports that a peer rank panicked while others were inside
+// a collective.
+var ErrAborted = errors.New("mpi: collective aborted by peer failure")
+
+func (b *cyclicBarrier) await() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return ErrAborted
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+func (b *cyclicBarrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,287 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"mloc/internal/bitmap"
+)
+
+func TestRunBasic(t *testing.T) {
+	var count atomic.Int64
+	err := Run(8, func(c *Comm) error {
+		if c.Size() != 8 {
+			return fmt.Errorf("Size = %d", c.Size())
+		}
+		if c.Rank() < 0 || c.Rank() >= 8 {
+			return fmt.Errorf("Rank = %d", c.Rank())
+		}
+		count.Add(1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 8 {
+		t.Fatalf("ran %d ranks", count.Load())
+	}
+}
+
+func TestRunSizeValidation(t *testing.T) {
+	if err := Run(0, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	sentinel := errors.New("rank 3 failed")
+	err := Run(4, func(c *Comm) error {
+		if c.Rank() == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	// Phase counter: all ranks must finish phase 1 before any sees
+	// phase 2 observations.
+	var phase1 atomic.Int64
+	err := Run(6, func(c *Comm) error {
+		phase1.Add(1)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if got := phase1.Load(); got != 6 {
+			return fmt.Errorf("rank %d saw phase1=%d after barrier", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		for i := 0; i < 100; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		got, err := AllGather(c, c.Rank()*10)
+		if err != nil {
+			return err
+		}
+		for i, v := range got {
+			if v != i*10 {
+				return fmt.Errorf("rank %d: got[%d] = %d", c.Rank(), i, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherRepeated(t *testing.T) {
+	// Slot reuse across rounds must not corrupt earlier reads.
+	err := Run(4, func(c *Comm) error {
+		for round := 0; round < 50; round++ {
+			got, err := AllGather(c, c.Rank()+round*100)
+			if err != nil {
+				return err
+			}
+			for i, v := range got {
+				if v != i+round*100 {
+					return fmt.Errorf("round %d rank %d: got[%d] = %d", round, c.Rank(), i, v)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherRootOnly(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		got, err := Gather(c, 2, fmt.Sprintf("r%d", c.Rank()))
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 {
+			if len(got) != 4 || got[0] != "r0" || got[3] != "r3" {
+				return fmt.Errorf("root got %v", got)
+			}
+		} else if got != nil {
+			return fmt.Errorf("non-root rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherBadRoot(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		_, err := Gather(c, 5, 0)
+		if err == nil {
+			return errors.New("bad root accepted")
+		}
+		// Re-sync so both ranks exit cleanly.
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	err := Run(8, func(c *Comm) error {
+		sum, err := AllReduce(c, c.Rank()+1, func(a, b int) int { return a + b })
+		if err != nil {
+			return err
+		}
+		if sum != 36 {
+			return fmt.Errorf("sum = %d", sum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceBitmapOr(t *testing.T) {
+	// The multi-variable query pattern: each rank sets its own bits,
+	// all ranks end with the union.
+	err := Run(4, func(c *Comm) error {
+		bm := bitmap.New(100)
+		bm.Set(int64(c.Rank() * 10))
+		union, err := AllReduce(c, bm, func(a, b *bitmap.Bitmap) *bitmap.Bitmap {
+			out := a.Clone()
+			out.Or(b)
+			return out
+		})
+		if err != nil {
+			return err
+		}
+		if union.Count() != 4 {
+			return fmt.Errorf("union count = %d", union.Count())
+		}
+		for r := 0; r < 4; r++ {
+			if !union.Get(int64(r * 10)) {
+				return fmt.Errorf("bit %d missing", r*10)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicConvertsToError(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+		// Other ranks block in a collective; the abort must release
+		// them instead of deadlocking.
+		return c.Barrier()
+	})
+	if err == nil {
+		t.Fatal("panic not reported")
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("peers did not observe abort: %v", err)
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		got, err := AllGather(c, 42)
+		if err != nil {
+			return err
+		}
+		if len(got) != 1 || got[0] != 42 {
+			return fmt.Errorf("got %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMismatchedTypesInAllGather(t *testing.T) {
+	// Ranks depositing different concrete types is a programming error
+	// that must surface, not panic.
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			_, err := AllGather[any](c, 1)
+			if err != nil {
+				return err
+			}
+			return nil
+		}
+		_, err := AllGather[any](c, "x")
+		return err
+	})
+	// With the any instantiation both succeed; this documents that the
+	// type check is per-instantiation.
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBarrier8(b *testing.B) {
+	b.ReportAllocs()
+	err := Run(8, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAllGather8(b *testing.B) {
+	b.ReportAllocs()
+	err := Run(8, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := AllGather(c, c.Rank()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

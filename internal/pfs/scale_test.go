@@ -1,0 +1,168 @@
+package pfs
+
+import (
+	"math"
+	"testing"
+)
+
+func scaledConfig(scale float64) Config {
+	cfg := testConfig()
+	cfg.ByteScale = scale
+	cfg.CPUScale = scale
+	return cfg
+}
+
+func TestByteScaleMultipliesTransferTime(t *testing.T) {
+	plain := New(testConfig())
+	scaled := New(scaledConfig(100))
+	w := NewClock()
+	data := make([]byte, 4096)
+	if err := plain.WriteFile(w, "f", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := scaled.WriteFile(NewClock(), "f", data); err != nil {
+		t.Fatal(err)
+	}
+	a, b := plain.NewClock(), scaled.NewClock()
+	if _, err := plain.ReadFile(a, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := scaled.ReadFile(b, "f"); err != nil {
+		t.Fatal(err)
+	}
+	// Seek latency is volume-independent and identical on both sides;
+	// compare the transfer components only.
+	plainTransfer := a.Now() - testConfig().SeekLatency
+	scaledTransfer := b.Now() - testConfig().SeekLatency
+	ratio := scaledTransfer / plainTransfer
+	if ratio < 90 || ratio > 110 {
+		t.Fatalf("scaled/plain transfer ratio = %.1f, want ≈100 (%.6f vs %.6f)",
+			ratio, scaledTransfer, plainTransfer)
+	}
+}
+
+func TestByteScaleShrinksStripes(t *testing.T) {
+	// With ByteScale=1024 and 1024-byte stripes, the effective stripe is
+	// 1 byte: even a tiny file spans all OSTs, like its full-scale
+	// counterpart would.
+	cfg := scaledConfig(1024)
+	s := New(cfg)
+	w := NewClock()
+	if err := s.WriteFile(w, "f", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	clk := s.NewClock()
+	if _, err := s.ReadFile(clk, "f"); err != nil {
+		t.Fatal(err)
+	}
+	busy := s.Stats().OSTBusy
+	active := 0
+	for _, b := range busy {
+		if b > 0 {
+			active++
+		}
+	}
+	if active != cfg.NumOSTs {
+		t.Fatalf("scaled read used %d of %d OSTs", active, cfg.NumOSTs)
+	}
+}
+
+func TestCPUScaleThroughAdvanceCPU(t *testing.T) {
+	s := New(scaledConfig(50))
+	clk := s.NewClock()
+	d := clk.AdvanceCPU(0.001)
+	if math.Abs(d-0.05) > 1e-12 {
+		t.Fatalf("AdvanceCPU scaled delta = %v, want 0.05", d)
+	}
+	if math.Abs(clk.Now()-0.05) > 1e-12 {
+		t.Fatalf("clock = %v", clk.Now())
+	}
+	// Standalone clocks don't scale.
+	solo := NewClock()
+	if d := solo.AdvanceCPU(0.001); math.Abs(d-0.001) > 1e-12 {
+		t.Fatalf("standalone AdvanceCPU = %v", d)
+	}
+	// Non-positive compute charges nothing.
+	if d := clk.AdvanceCPU(-1); d != 0 {
+		t.Fatalf("negative AdvanceCPU = %v", d)
+	}
+}
+
+func TestMeasureCPUChargesAndSerializes(t *testing.T) {
+	s := New(scaledConfig(10))
+	clk := s.NewClock()
+	ran := false
+	d := clk.MeasureCPU(func() { ran = true })
+	if !ran {
+		t.Fatal("MeasureCPU did not run fn")
+	}
+	if d < 0 || clk.Now() != d {
+		t.Fatalf("MeasureCPU delta %v, clock %v", d, clk.Now())
+	}
+}
+
+func TestCoalesceGap(t *testing.T) {
+	cfg := testConfig() // seek 5 ms, 1 MB/s
+	s := New(cfg)
+	want := int64(cfg.SeekLatency * cfg.ReadBW)
+	if got := s.CoalesceGap(); got != want {
+		t.Fatalf("CoalesceGap = %d, want %d", got, want)
+	}
+	scaled := New(scaledConfig(100))
+	if got := scaled.CoalesceGap(); got != want/100 {
+		t.Fatalf("scaled CoalesceGap = %d, want %d", got, want/100)
+	}
+}
+
+func TestNegativeScaleRejected(t *testing.T) {
+	cfg := testConfig()
+	cfg.ByteScale = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative ByteScale accepted")
+	}
+	cfg = testConfig()
+	cfg.CPUScale = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative CPUScale accepted")
+	}
+}
+
+func TestPeekChargesNothing(t *testing.T) {
+	s := New(testConfig())
+	clk := NewClock()
+	if err := s.WriteFile(clk, "f", []byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	got, err := s.Peek("f", 6, 5)
+	if err != nil || string(got) != "world" {
+		t.Fatalf("Peek = %q, %v", got, err)
+	}
+	st := s.Stats()
+	if st.BytesRead != 0 || st.Seeks != 0 || st.Reads != 0 {
+		t.Fatalf("Peek charged stats: %+v", st)
+	}
+	if _, err := s.Peek("f", 8, 100); err == nil {
+		t.Fatal("out-of-range Peek accepted")
+	}
+	if _, err := s.Peek("missing", 0, 0); err == nil {
+		t.Fatal("Peek of missing file accepted")
+	}
+}
+
+func TestNewClocksContention(t *testing.T) {
+	s := New(testConfig())
+	clks := s.NewClocks(5)
+	if len(clks) != 5 {
+		t.Fatalf("NewClocks returned %d clocks", len(clks))
+	}
+	for i, c := range clks {
+		if c.contention != 5 {
+			t.Fatalf("clock %d contention = %v", i, c.contention)
+		}
+	}
+	if c := s.NewClock(); c.contention != 1 {
+		t.Fatalf("solo clock contention = %v", c.contention)
+	}
+}

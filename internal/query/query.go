@@ -1,0 +1,116 @@
+// Package query defines the shared request/response types of every
+// store in this repository (MLOC and the FastBit/SciDB/seq-scan
+// baselines): value constraints, spatial constraints, match sets, and
+// the per-component time accounting (I/O, decompression,
+// reconstruction) the paper's Figure 6 breaks down.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"mloc/internal/binning"
+	"mloc/internal/grid"
+)
+
+// Request describes one data access. The zero value of each constraint
+// means "unconstrained": a Request with only VC set is the paper's
+// region query; only SC set is a value query; both set is the combined
+// value-and-spatial access.
+type Request struct {
+	// VC is the value constraint; nil means no value filter.
+	VC *binning.ValueConstraint
+	// SC is the spatial constraint; nil means the whole domain.
+	SC *grid.Region
+	// PLoDLevel requests a reduced-precision read (1..7); 0 or 7 means
+	// full precision. Stores without PLoD support ignore it.
+	PLoDLevel int
+	// IndexOnly requests positions without reconstructed values — the
+	// paper's region-only access, which aligned bins answer from the
+	// index alone.
+	IndexOnly bool
+}
+
+// Validate rejects malformed requests against a given grid shape.
+func (r *Request) Validate(shape grid.Shape) error {
+	if r.VC != nil && r.VC.Min > r.VC.Max {
+		return fmt.Errorf("query: inverted value constraint [%v,%v]", r.VC.Min, r.VC.Max)
+	}
+	if r.SC != nil {
+		if r.SC.Dims() != shape.Dims() {
+			return fmt.Errorf("query: SC dimensionality %d != grid %d", r.SC.Dims(), shape.Dims())
+		}
+		for d := range r.SC.Lo {
+			if r.SC.Lo[d] > r.SC.Hi[d] {
+				return fmt.Errorf("query: inverted SC in dim %d", d)
+			}
+		}
+	}
+	if r.PLoDLevel < 0 || r.PLoDLevel > 7 {
+		return fmt.Errorf("query: PLoD level %d out of [0,7]", r.PLoDLevel)
+	}
+	return nil
+}
+
+// Match is one qualifying point: its row-major linear index in the
+// grid, and its value (NaN-free; unset when the request was IndexOnly).
+type Match struct {
+	Index int64
+	Value float64
+}
+
+// Components is the virtual-time cost breakdown of a data access,
+// matching the paper's Figure 6 decomposition.
+type Components struct {
+	// IO is seek+read time charged by the PFS model.
+	IO float64
+	// Decompress is codec time (measured CPU seconds).
+	Decompress float64
+	// Reconstruct is filtering plus value/byte assembly time.
+	Reconstruct float64
+}
+
+// Total returns the sum of the components.
+func (c Components) Total() float64 { return c.IO + c.Decompress + c.Reconstruct }
+
+// Add accumulates another breakdown.
+func (c *Components) Add(o Components) {
+	c.IO += o.IO
+	c.Decompress += o.Decompress
+	c.Reconstruct += o.Reconstruct
+}
+
+// MaxWith takes the component-wise running maximum; ranks of a parallel
+// query combine their breakdowns this way because they proceed
+// concurrently (completion is the slowest rank).
+func (c *Components) MaxWith(o Components) {
+	if o.IO > c.IO {
+		c.IO = o.IO
+	}
+	if o.Decompress > c.Decompress {
+		c.Decompress = o.Decompress
+	}
+	if o.Reconstruct > c.Reconstruct {
+		c.Reconstruct = o.Reconstruct
+	}
+}
+
+// Result is a completed access: the matches plus accounting.
+type Result struct {
+	Matches []Match
+	// Time is the per-component virtual-time breakdown of the slowest
+	// rank (queries complete when the last rank finishes).
+	Time Components
+	// BytesRead is the total data volume fetched from the PFS.
+	BytesRead int64
+	// BinsAccessed and BlocksRead count index/data structures touched
+	// (meaningful for binned stores; zero otherwise).
+	BinsAccessed int
+	BlocksRead   int
+}
+
+// Sort orders matches by linear index; stores produce deterministic
+// output through this before returning.
+func (r *Result) Sort() {
+	sort.Slice(r.Matches, func(i, j int) bool { return r.Matches[i].Index < r.Matches[j].Index })
+}

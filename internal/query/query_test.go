@@ -1,0 +1,65 @@
+package query
+
+import (
+	"testing"
+
+	"mloc/internal/binning"
+	"mloc/internal/grid"
+)
+
+func TestRequestValidate(t *testing.T) {
+	shape := grid.Shape{8, 8}
+	good := []Request{
+		{},
+		{VC: &binning.ValueConstraint{Min: 0, Max: 1}},
+		{SC: &grid.Region{Lo: []int{0, 0}, Hi: []int{4, 4}}},
+		{PLoDLevel: 3},
+		{IndexOnly: true},
+	}
+	for i, r := range good {
+		if err := r.Validate(shape); err != nil {
+			t.Errorf("good request %d rejected: %v", i, err)
+		}
+	}
+	bad := []Request{
+		{VC: &binning.ValueConstraint{Min: 2, Max: 1}},
+		{SC: &grid.Region{Lo: []int{0}, Hi: []int{4}}},
+		{SC: &grid.Region{Lo: []int{5, 0}, Hi: []int{4, 4}}},
+		{PLoDLevel: -1},
+		{PLoDLevel: 8},
+	}
+	for i, r := range bad {
+		if err := r.Validate(shape); err == nil {
+			t.Errorf("bad request %d accepted", i)
+		}
+	}
+}
+
+func TestComponents(t *testing.T) {
+	a := Components{IO: 1, Decompress: 2, Reconstruct: 3}
+	if a.Total() != 6 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	b := Components{IO: 10, Decompress: 0.5, Reconstruct: 1}
+	a.Add(b)
+	if a.IO != 11 || a.Decompress != 2.5 || a.Reconstruct != 4 {
+		t.Fatalf("Add = %+v", a)
+	}
+	m := Components{IO: 5, Decompress: 9, Reconstruct: 1}
+	m.MaxWith(Components{IO: 7, Decompress: 2, Reconstruct: 3})
+	if m.IO != 7 || m.Decompress != 9 || m.Reconstruct != 3 {
+		t.Fatalf("MaxWith = %+v", m)
+	}
+}
+
+func TestResultSort(t *testing.T) {
+	r := Result{Matches: []Match{{Index: 5}, {Index: 1}, {Index: 3}}}
+	r.Sort()
+	for i := 1; i < len(r.Matches); i++ {
+		if r.Matches[i].Index < r.Matches[i-1].Index {
+			t.Fatalf("not sorted: %+v", r.Matches)
+		}
+	}
+	empty := Result{}
+	empty.Sort() // must not panic
+}

@@ -1,0 +1,98 @@
+package sfc
+
+import "fmt"
+
+// Hierarchy implements the hierarchical Hilbert mapping used by MLOC's
+// subset-based multi-resolution layout (paper §III-B3, citing
+// Pascucci-style hierarchical indexing). The lattice is split into
+// resolution levels: level 0 holds the points of the coarsest
+// subsampling (stride 2^order), and each finer level ℓ adds the points
+// that first appear at stride 2^(order-ℓ). Storing each level's points
+// contiguously (ordered by their Hilbert index) lets a reader fetch a
+// resolution-ℓ subset with a single contiguous scan per level.
+type Hierarchy struct {
+	curve *Hilbert
+}
+
+// NewHierarchy builds a hierarchical mapping over the given Hilbert
+// curve.
+func NewHierarchy(curve *Hilbert) *Hierarchy {
+	return &Hierarchy{curve: curve}
+}
+
+// Levels returns the number of resolution levels, order+1: the coarsest
+// level holds a single point per 2^order-sized cell, the finest holds
+// every remaining point.
+func (h *Hierarchy) Levels() int { return int(h.curve.Order()) + 1 }
+
+// Level returns the resolution level at which the point with the given
+// coordinates first appears. A point belongs to level ℓ when its finest
+// nonzero stride alignment is 2^(order-ℓ); the origin-aligned coarsest
+// points are level 0.
+func (h *Hierarchy) Level(coords []uint32) int {
+	order := h.curve.Order()
+	// The level is determined by the largest power-of-two stride that
+	// divides every coordinate. Points with all coords divisible by
+	// 2^order (only the origin when side == 2^order) are level 0.
+	best := order
+	for _, c := range coords {
+		if c == 0 {
+			continue
+		}
+		t := trailingZeros32(c)
+		if t < best {
+			best = t
+		}
+	}
+	return int(order - best)
+}
+
+// PointsAtLevel returns the number of lattice points whose Level equals
+// exactly lvl, for a curve of side s per dimension.
+func (h *Hierarchy) PointsAtLevel(lvl int) uint64 {
+	if lvl < 0 || lvl >= h.Levels() {
+		panic(fmt.Sprintf("sfc: level %d out of range [0,%d)", lvl, h.Levels()))
+	}
+	// Points with Level <= lvl are those aligned to stride 2^(order-lvl):
+	// (2^lvl)^dims of them. Level == lvl is the difference with lvl-1.
+	upTo := func(l int) uint64 {
+		per := uint64(1) << uint(l)
+		n := uint64(1)
+		for i := 0; i < h.curve.Dims(); i++ {
+			n *= per
+		}
+		return n
+	}
+	if lvl == 0 {
+		return upTo(0)
+	}
+	return upTo(lvl) - upTo(lvl-1)
+}
+
+// Rank returns the (level, withinLevelHilbertIndex) pair for a point.
+// Sorting points by (level, rank) yields the hierarchical layout.
+func (h *Hierarchy) Rank(coords []uint32) (level int, rank uint64) {
+	return h.Level(coords), h.curve.Index(coords)
+}
+
+// SubsetStride returns the sampling stride that a reader of resolution
+// level lvl uses: points with all coordinates divisible by the stride
+// form the level-lvl subsample.
+func (h *Hierarchy) SubsetStride(lvl int) uint32 {
+	if lvl < 0 || lvl >= h.Levels() {
+		panic(fmt.Sprintf("sfc: level %d out of range [0,%d)", lvl, h.Levels()))
+	}
+	return uint32(1) << (h.curve.Order() - uint(lvl))
+}
+
+func trailingZeros32(v uint32) uint {
+	if v == 0 {
+		return 32
+	}
+	n := uint(0)
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package sfc
+
+import "testing"
+
+func TestHierarchyLevels(t *testing.T) {
+	h := NewHierarchy(MustHilbert(2, 3)) // side 8, levels 0..3
+	if h.Levels() != 4 {
+		t.Fatalf("Levels() = %d, want 4", h.Levels())
+	}
+	cases := []struct {
+		coords []uint32
+		want   int
+	}{
+		{[]uint32{0, 0}, 0}, // origin: coarsest
+		{[]uint32{4, 4}, 1}, // stride-4 aligned
+		{[]uint32{4, 0}, 1},
+		{[]uint32{2, 4}, 2}, // stride-2 aligned
+		{[]uint32{2, 2}, 2},
+		{[]uint32{1, 0}, 3}, // odd coordinate: finest
+		{[]uint32{3, 5}, 3},
+	}
+	for _, c := range cases {
+		if got := h.Level(c.coords); got != c.want {
+			t.Errorf("Level(%v) = %d, want %d", c.coords, got, c.want)
+		}
+	}
+}
+
+func TestHierarchyLevelCounts(t *testing.T) {
+	// Sum of PointsAtLevel over all levels must equal side^dims, and
+	// must match brute-force counting.
+	h := NewHierarchy(MustHilbert(2, 3))
+	side := uint32(8)
+	counts := make([]uint64, h.Levels())
+	for x := uint32(0); x < side; x++ {
+		for y := uint32(0); y < side; y++ {
+			counts[h.Level([]uint32{x, y})]++
+		}
+	}
+	var total uint64
+	for lvl := 0; lvl < h.Levels(); lvl++ {
+		if got := h.PointsAtLevel(lvl); got != counts[lvl] {
+			t.Errorf("PointsAtLevel(%d) = %d, brute force %d", lvl, got, counts[lvl])
+		}
+		total += counts[lvl]
+	}
+	if total != uint64(side)*uint64(side) {
+		t.Errorf("levels cover %d points, want %d", total, side*side)
+	}
+}
+
+func TestHierarchySubsetStride(t *testing.T) {
+	h := NewHierarchy(MustHilbert(3, 4))
+	want := []uint32{16, 8, 4, 2, 1}
+	for lvl, w := range want {
+		if got := h.SubsetStride(lvl); got != w {
+			t.Errorf("SubsetStride(%d) = %d, want %d", lvl, got, w)
+		}
+	}
+}
+
+func TestHierarchySubsetNesting(t *testing.T) {
+	// Every point in the level-ℓ subsample must have Level <= ℓ: the
+	// subsets are nested, so a reader at resolution ℓ reads exactly
+	// levels 0..ℓ.
+	h := NewHierarchy(MustHilbert(2, 4))
+	side := uint32(16)
+	for lvl := 0; lvl < h.Levels(); lvl++ {
+		stride := h.SubsetStride(lvl)
+		for x := uint32(0); x < side; x += stride {
+			for y := uint32(0); y < side; y += stride {
+				if got := h.Level([]uint32{x, y}); got > lvl {
+					t.Fatalf("point (%d,%d) in stride-%d subsample has level %d > %d",
+						x, y, stride, got, lvl)
+				}
+			}
+		}
+	}
+}
+
+func TestHierarchyRankOrdering(t *testing.T) {
+	// Within a level, ranks must be distinct (they are Hilbert indices
+	// of distinct points).
+	h := NewHierarchy(MustHilbert(2, 3))
+	seen := map[int]map[uint64]bool{}
+	for x := uint32(0); x < 8; x++ {
+		for y := uint32(0); y < 8; y++ {
+			lvl, rank := h.Rank([]uint32{x, y})
+			if seen[lvl] == nil {
+				seen[lvl] = map[uint64]bool{}
+			}
+			if seen[lvl][rank] {
+				t.Fatalf("duplicate rank %d at level %d", rank, lvl)
+			}
+			seen[lvl][rank] = true
+		}
+	}
+}
+
+func TestHierarchyPanicsOnBadLevel(t *testing.T) {
+	h := NewHierarchy(MustHilbert(2, 3))
+	assertPanics(t, func() { h.PointsAtLevel(-1) }, "negative level")
+	assertPanics(t, func() { h.PointsAtLevel(4) }, "level too large")
+	assertPanics(t, func() { h.SubsetStride(99) }, "stride level too large")
+}

@@ -1,0 +1,206 @@
+package sfc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHilbertValidation(t *testing.T) {
+	cases := []struct {
+		dims  int
+		order uint
+		ok    bool
+	}{
+		{2, 4, true},
+		{3, 7, true},
+		{1, 32, true},
+		{2, 32, true},
+		{0, 4, false},
+		{-1, 4, false},
+		{2, 0, false},
+		{2, 33, false},
+		{3, 22, false}, // 66 bits
+		{4, 16, true},  // 64 bits exactly
+		{4, 17, false},
+	}
+	for _, c := range cases {
+		_, err := NewHilbert(c.dims, c.order)
+		if (err == nil) != c.ok {
+			t.Errorf("NewHilbert(%d,%d): err=%v, want ok=%v", c.dims, c.order, err, c.ok)
+		}
+	}
+}
+
+func TestHilbert2DOrder1(t *testing.T) {
+	// The order-1 2-D Hilbert curve visits (0,0),(0,1),(1,1),(1,0) in
+	// some axis convention; verify it is a bijection visiting all 4
+	// cells with unit steps.
+	h := MustHilbert(2, 1)
+	seen := map[uint64]bool{}
+	var prev []uint32
+	for d := uint64(0); d < 4; d++ {
+		c := h.Coords(d, nil)
+		key := uint64(c[0])<<32 | uint64(c[1])
+		if seen[key] {
+			t.Fatalf("coords %v repeated at d=%d", c, d)
+		}
+		seen[key] = true
+		if got := h.Index(c); got != d {
+			t.Fatalf("Index(Coords(%d)) = %d", d, got)
+		}
+		if prev != nil {
+			if manhattan(prev, c) != 1 {
+				t.Fatalf("step %d -> %d not adjacent: %v -> %v", d-1, d, prev, c)
+			}
+		}
+		prev = c
+	}
+}
+
+func manhattan(a, b []uint32) int {
+	s := 0
+	for i := range a {
+		d := int(a[i]) - int(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+func TestHilbertAdjacency(t *testing.T) {
+	// Defining property of the Hilbert curve: consecutive indices map
+	// to lattice points at Manhattan distance exactly 1.
+	for _, tc := range []struct {
+		dims  int
+		order uint
+	}{{2, 3}, {2, 5}, {3, 2}, {3, 3}, {4, 2}} {
+		h := MustHilbert(tc.dims, tc.order)
+		n := h.Length()
+		prev := h.Coords(0, nil)
+		for d := uint64(1); d < n; d++ {
+			cur := h.Coords(d, nil)
+			if manhattan(prev, cur) != 1 {
+				t.Fatalf("dims=%d order=%d: step %d not adjacent: %v -> %v",
+					tc.dims, tc.order, d, prev, cur)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestHilbertBijection(t *testing.T) {
+	for _, tc := range []struct {
+		dims  int
+		order uint
+	}{{2, 4}, {3, 3}, {1, 6}, {5, 2}} {
+		h := MustHilbert(tc.dims, tc.order)
+		n := h.Length()
+		seen := make(map[string]bool, n)
+		for d := uint64(0); d < n; d++ {
+			c := h.Coords(d, nil)
+			key := coordKey(c)
+			if seen[key] {
+				t.Fatalf("dims=%d order=%d: coords %v visited twice", tc.dims, tc.order, c)
+			}
+			seen[key] = true
+			if back := h.Index(c); back != d {
+				t.Fatalf("dims=%d order=%d: roundtrip %d -> %v -> %d", tc.dims, tc.order, d, c, back)
+			}
+		}
+		if uint64(len(seen)) != n {
+			t.Fatalf("dims=%d order=%d: visited %d of %d cells", tc.dims, tc.order, len(seen), n)
+		}
+	}
+}
+
+func coordKey(c []uint32) string {
+	b := make([]byte, 0, len(c)*4)
+	for _, v := range c {
+		b = append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(b)
+}
+
+func TestHilbertRoundtripQuick(t *testing.T) {
+	h := MustHilbert(3, 10)
+	f := func(a, b, c uint32) bool {
+		coords := []uint32{a % 1024, b % 1024, c % 1024}
+		d := h.Index(coords)
+		back := h.Coords(d, nil)
+		return back[0] == coords[0] && back[1] == coords[1] && back[2] == coords[2]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHilbertIndexRangeQuick(t *testing.T) {
+	h := MustHilbert(2, 16)
+	f := func(a, b uint32) bool {
+		coords := []uint32{a % 65536, b % 65536}
+		return h.Index(coords) < h.Length()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHilbertPanicsOnBadCoords(t *testing.T) {
+	h := MustHilbert(2, 4)
+	assertPanics(t, func() { h.Index([]uint32{1, 2, 3}) }, "wrong arity")
+	assertPanics(t, func() { h.Index([]uint32{16, 0}) }, "out of range")
+}
+
+func assertPanics(t *testing.T, f func(), msg string) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic: %s", msg)
+		}
+	}()
+	f()
+}
+
+func TestOrderFor(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want uint
+	}{{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := OrderFor(c.n); got != c.want {
+			t.Errorf("OrderFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestHilbertDoesNotMutateInput(t *testing.T) {
+	h := MustHilbert(3, 5)
+	coords := []uint32{3, 7, 11}
+	orig := append([]uint32(nil), coords...)
+	h.Index(coords)
+	for i := range coords {
+		if coords[i] != orig[i] {
+			t.Fatalf("Index mutated input coords: %v != %v", coords, orig)
+		}
+	}
+}
+
+func BenchmarkHilbertIndex2D(b *testing.B) {
+	h := MustHilbert(2, 16)
+	coords := []uint32{12345, 54321}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = h.Index(coords)
+	}
+}
+
+func BenchmarkHilbertCoords3D(b *testing.B) {
+	h := MustHilbert(3, 10)
+	dst := make([]uint32, 0, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst = h.Coords(uint64(i)&(h.Length()-1), dst[:0])
+	}
+}

@@ -1,0 +1,39 @@
+package stage
+
+import (
+	"testing"
+
+	"mloc/internal/core"
+	"mloc/internal/datagen"
+	"mloc/internal/pfs"
+)
+
+// BenchmarkStagingThroughput measures end-to-end in-situ ingest:
+// simulation steps flowing through the staging workers into MLOC
+// stores on the PFS.
+func BenchmarkStagingThroughput(b *testing.B) {
+	d := datagen.GTSLike(128, 128, 1)
+	v, _ := d.Var("phi")
+	const steps = 4
+	b.SetBytes(int64(len(v.Data) * 8 * steps))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		fs := pfs.New(pfs.DefaultConfig())
+		cfg := core.DefaultConfig([]int{32, 32})
+		cfg.NumBins = 16
+		p, err := New(Config{FS: fs, Store: cfg, Prefix: "sim", Workers: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < steps; s++ {
+			if err := p.Submit(StepVar{Step: s, Name: "phi", Shape: d.Shape, Data: v.Data}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, r := range p.Drain() {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package stage implements MLOC's in-situ data processing pipeline
+// (paper contribution 4: "a data processing pipeline which is readily
+// incorporated with existing data staging frameworks [DataStager,
+// PreDatA] to achieve efficient in-situ data layout optimization and
+// compression").
+//
+// A running simulation emits time steps; the pipeline's staging workers
+// run the MLOC layout pipeline (binning, PLoD splitting, Hilbert
+// ordering, compression) concurrently with the simulation and write the
+// per-step stores to the PFS. Submission is asynchronous with bounded
+// buffering, modeling a staging area that applies back-pressure when
+// the simulation outruns the staging nodes.
+package stage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mloc/internal/core"
+	"mloc/internal/grid"
+	"mloc/internal/pfs"
+)
+
+// Config parameterizes the staging pipeline.
+type Config struct {
+	// FS is the target parallel file system.
+	FS *pfs.Sim
+	// Store is the MLOC configuration applied to every variable.
+	Store core.Config
+	// Prefix is the PFS path prefix; stores land at
+	// <Prefix>/step<NNNNN>/<var>.
+	Prefix string
+	// Workers is the number of concurrent staging workers (staging-node
+	// cores). Defaults to 2.
+	Workers int
+	// QueueDepth bounds the number of submitted-but-unstaged variables
+	// before Submit blocks (staging-area capacity). Defaults to
+	// 2×Workers.
+	QueueDepth int
+}
+
+// StepVar is one variable of one time step, as emitted by a simulation.
+type StepVar struct {
+	Step  int
+	Name  string
+	Shape grid.Shape
+	Data  []float64
+}
+
+// Result is the outcome of staging one StepVar.
+type Result struct {
+	Step int
+	Name string
+	// Store is the built MLOC store (nil when Err != nil).
+	Store *core.Store
+	// IngestVirtualSec is the virtual time the build charged (PFS
+	// writes plus scaled compression CPU).
+	IngestVirtualSec float64
+	// Err reports a failed build.
+	Err error
+}
+
+// Pipeline is a running staging pipeline. Create with New, feed with
+// Submit, finish with Drain.
+type Pipeline struct {
+	cfg  Config
+	in   chan StepVar
+	wg   sync.WaitGroup
+	once sync.Once
+
+	mu      sync.Mutex
+	results []Result
+	closed  bool
+}
+
+// New validates the configuration and starts the workers.
+func New(cfg Config) (*Pipeline, error) {
+	if cfg.FS == nil {
+		return nil, fmt.Errorf("stage: FS is required")
+	}
+	if cfg.Prefix == "" {
+		return nil, fmt.Errorf("stage: Prefix is required")
+	}
+	if len(cfg.Store.ChunkSize) == 0 {
+		return nil, fmt.Errorf("stage: Store.ChunkSize is required")
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	p := &Pipeline{
+		cfg: cfg,
+		in:  make(chan StepVar, cfg.QueueDepth),
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p, nil
+}
+
+func (p *Pipeline) worker() {
+	defer p.wg.Done()
+	for sv := range p.in {
+		res := Result{Step: sv.Step, Name: sv.Name}
+		clk := p.cfg.FS.NewClock()
+		prefix := fmt.Sprintf("%s/step%05d/%s", p.cfg.Prefix, sv.Step, sv.Name)
+		st, err := core.Build(p.cfg.FS, clk, prefix, sv.Shape, sv.Data, p.cfg.Store)
+		if err != nil {
+			res.Err = fmt.Errorf("stage: step %d %s: %w", sv.Step, sv.Name, err)
+		} else {
+			res.Store = st
+			res.IngestVirtualSec = clk.Now()
+		}
+		p.mu.Lock()
+		p.results = append(p.results, res)
+		p.mu.Unlock()
+	}
+}
+
+// Submit enqueues one variable for staging. It blocks when the staging
+// queue is full (back-pressure on the simulation) and errors after
+// Drain.
+func (p *Pipeline) Submit(sv StepVar) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return fmt.Errorf("stage: pipeline already drained")
+	}
+	if sv.Name == "" {
+		return fmt.Errorf("stage: variable name is required")
+	}
+	if err := sv.Shape.Validate(); err != nil {
+		return fmt.Errorf("stage: %w", err)
+	}
+	if int64(len(sv.Data)) != sv.Shape.Elems() {
+		return fmt.Errorf("stage: step %d %s: %d values for shape %v",
+			sv.Step, sv.Name, len(sv.Data), sv.Shape)
+	}
+	p.in <- sv
+	return nil
+}
+
+// Drain closes submission, waits for all staging work, and returns the
+// results ordered by (step, name). Individual build failures are
+// reported inside the results, not as a Drain error. Drain is
+// idempotent.
+func (p *Pipeline) Drain() []Result {
+	p.once.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		p.mu.Unlock()
+		close(p.in)
+		p.wg.Wait()
+	})
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := append([]Result(nil), p.results...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Step != out[j].Step {
+			return out[i].Step < out[j].Step
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

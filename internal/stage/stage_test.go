@@ -1,0 +1,195 @@
+package stage
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"mloc/internal/binning"
+	"mloc/internal/core"
+	"mloc/internal/datagen"
+	"mloc/internal/grid"
+	"mloc/internal/pfs"
+	"mloc/internal/query"
+)
+
+func testPipeline(t *testing.T, workers int) (*Pipeline, *pfs.Sim) {
+	t.Helper()
+	fs := pfs.New(pfs.DefaultConfig())
+	cfg := core.DefaultConfig([]int{16, 16})
+	cfg.NumBins = 8
+	cfg.SampleSize = 256
+	p, err := New(Config{FS: fs, Store: cfg, Prefix: "sim", Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, fs
+}
+
+func TestNewValidation(t *testing.T) {
+	fs := pfs.New(pfs.DefaultConfig())
+	good := core.DefaultConfig([]int{8, 8})
+	if _, err := New(Config{Store: good, Prefix: "x"}); err == nil {
+		t.Error("missing FS accepted")
+	}
+	if _, err := New(Config{FS: fs, Store: good}); err == nil {
+		t.Error("missing prefix accepted")
+	}
+	if _, err := New(Config{FS: fs, Prefix: "x"}); err == nil {
+		t.Error("missing chunk size accepted")
+	}
+}
+
+func TestStageMultipleSteps(t *testing.T) {
+	p, _ := testPipeline(t, 3)
+	const steps = 5
+	shapes := map[int]grid.Shape{}
+	data := map[int][]float64{}
+	for s := 0; s < steps; s++ {
+		d := datagen.GTSLike(64, 64, int64(s+1))
+		v, _ := d.Var("phi")
+		shapes[s] = d.Shape
+		data[s] = v.Data
+		if err := p.Submit(StepVar{Step: s, Name: "phi", Shape: d.Shape, Data: v.Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results := p.Drain()
+	if len(results) != steps {
+		t.Fatalf("got %d results, want %d", len(results), steps)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("step %d: %v", r.Step, r.Err)
+		}
+		if r.Step != i {
+			t.Fatalf("results not ordered: %d at %d", r.Step, i)
+		}
+		if r.IngestVirtualSec <= 0 {
+			t.Errorf("step %d: no ingest time charged", r.Step)
+		}
+		// Each staged store must answer queries over its own step's data.
+		lo, hi := datagen.Selectivity(data[r.Step], 0.1, 3, 512)
+		vc := binning.ValueConstraint{Min: lo, Max: hi}
+		res, err := r.Store.Query(&query.Request{VC: &vc}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int
+		for _, v := range data[r.Step] {
+			if vc.Contains(v) {
+				want++
+			}
+		}
+		if len(res.Matches) != want {
+			t.Fatalf("step %d: %d matches, want %d", r.Step, len(res.Matches), want)
+		}
+	}
+}
+
+func TestStepsLandAtDistinctPaths(t *testing.T) {
+	p, fs := testPipeline(t, 2)
+	d := datagen.GTSLike(32, 32, 9)
+	v, _ := d.Var("phi")
+	for s := 0; s < 3; s++ {
+		if err := p.Submit(StepVar{Step: s, Name: "phi", Shape: d.Shape, Data: v.Data}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Drain()
+	for s := 0; s < 3; s++ {
+		if !fs.Exists("sim/step0000" + string(rune('0'+s)) + "/phi/meta") {
+			t.Errorf("step %d store missing on PFS", s)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	p, _ := testPipeline(t, 1)
+	if err := p.Submit(StepVar{Step: 0, Shape: grid.Shape{4, 4}, Data: make([]float64, 16)}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := p.Submit(StepVar{Step: 0, Name: "x", Shape: grid.Shape{0}, Data: nil}); err == nil {
+		t.Error("bad shape accepted")
+	}
+	if err := p.Submit(StepVar{Step: 0, Name: "x", Shape: grid.Shape{4, 4}, Data: make([]float64, 3)}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	p.Drain()
+	d := datagen.GTSLike(16, 16, 1)
+	v, _ := d.Var("phi")
+	if err := p.Submit(StepVar{Step: 1, Name: "phi", Shape: d.Shape, Data: v.Data}); err == nil {
+		t.Error("submit after drain accepted")
+	}
+}
+
+func TestBuildFailuresReportedPerResult(t *testing.T) {
+	fs := pfs.New(pfs.DefaultConfig())
+	cfg := core.DefaultConfig([]int{16}) // 1-D chunking
+	cfg.NumBins = 4
+	p, err := New(Config{FS: fs, Store: cfg, Prefix: "bad", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2-D data against a 1-D chunk config fails inside the worker.
+	d := datagen.GTSLike(16, 16, 1)
+	v, _ := d.Var("phi")
+	if err := p.Submit(StepVar{Step: 0, Name: "phi", Shape: d.Shape, Data: v.Data}); err != nil {
+		t.Fatal(err)
+	}
+	results := p.Drain()
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Err == nil {
+		t.Fatal("build failure not reported")
+	}
+	if !strings.Contains(results[0].Err.Error(), "step 0") {
+		t.Errorf("error %q lacks step context", results[0].Err)
+	}
+	if results[0].Store != nil {
+		t.Error("failed result carries a store")
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	// Multiple simulation threads submitting concurrently must not race
+	// (run with -race).
+	p, _ := testPipeline(t, 4)
+	d := datagen.GTSLike(32, 32, 2)
+	v, _ := d.Var("phi")
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(step int) {
+			defer wg.Done()
+			if err := p.Submit(StepVar{Step: step, Name: "phi", Shape: d.Shape, Data: v.Data}); err != nil {
+				t.Error(err)
+			}
+		}(s)
+	}
+	wg.Wait()
+	results := p.Drain()
+	if len(results) != 8 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+}
+
+func TestDrainIdempotent(t *testing.T) {
+	p, _ := testPipeline(t, 1)
+	d := datagen.GTSLike(16, 16, 1)
+	v, _ := d.Var("phi")
+	if err := p.Submit(StepVar{Step: 0, Name: "phi", Shape: d.Shape, Data: v.Data}); err != nil {
+		t.Fatal(err)
+	}
+	a := p.Drain()
+	b := p.Drain()
+	if len(a) != 1 || len(b) != 1 {
+		t.Fatalf("Drain results: %d then %d", len(a), len(b))
+	}
+}
