@@ -1,0 +1,42 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+# Packages exercising the goroutine-based SPMD runtime — the ones where
+# a data race would actually bite.
+RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage
+
+.PHONY: build test vet mlocvet race fuzz-short check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## vet: go vet plus the repo's own analyzer suite (cmd/mlocvet).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/mlocvet ./...
+
+## mlocvet: just the custom analyzer suite.
+mlocvet:
+	$(GO) run ./cmd/mlocvet ./...
+
+## race: race-detector pass over the parallel engine packages.
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+## fuzz-short: run every fuzz target briefly (~$(FUZZTIME) each).
+## `go test -fuzz` accepts exactly one matching target per invocation,
+## so each target is listed explicitly.
+fuzz-short:
+	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzIsobarDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzIsabelaDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzFPCDecode$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzFPCRoundtrip$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzBitUnpack$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzMetaUnmarshal$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzDecodeOffsets$$' -fuzztime=$(FUZZTIME)
+
+## check: everything CI runs (minus the fuzzing).
+check: build test vet race

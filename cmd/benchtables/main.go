@@ -76,7 +76,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchtables: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
-		res.Render(os.Stdout)
+		if err := res.Render(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: rendering %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
 		fmt.Printf("  (%s regenerated in %.1fs wall)\n\n", e.name, time.Since(start).Seconds())
 	}
 

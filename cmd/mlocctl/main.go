@@ -252,7 +252,9 @@ func cmdRun(args []string) error {
 		if err != nil {
 			return err
 		}
-		plan.Render(os.Stdout)
+		if err := plan.Render(os.Stdout); err != nil {
+			return err
+		}
 	}
 	sim.ResetStats()
 	res, err := st.Query(req, *ranks)

@@ -1,0 +1,124 @@
+// Command mlocvet runs MLOC's custom static-analysis suite over the
+// repository. It is the stdlib-only companion to `go vet`: the
+// analyzers in internal/lint machine-enforce conventions the standard
+// checks do not know about (SPMD-only goroutines, rank-local
+// *mpi.Comm, "<pkg>: " error prefixes, tolerance-based float
+// comparison, checked errors, documented exports).
+//
+// Usage:
+//
+//	mlocvet [-list] [-only analyzer[,analyzer]] [packages]
+//
+// Packages follow go-tool patterns (directories, with an optional
+// "..." wildcard suffix); the default is "./...". Diagnostics print
+// one per line as "file:line: analyzer: message". The exit code is 0
+// when the tree is clean, 1 when any diagnostic fired, and 2 on usage
+// or load errors. A finding is suppressed by a trailing (or
+// immediately preceding) "//mlocvet:ignore <analyzer>" comment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mloc/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// printf writes formatted driver output. A failed write (closed pipe)
+// must not mask the analysis exit code, so the write error is
+// deliberately dropped.
+func printf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...) //mlocvet:ignore uncheckederr
+}
+
+// run executes the driver and returns its exit code: 0 clean, 1
+// findings, 2 usage or load failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mlocvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		printf(stderr, "usage: mlocvet [-list] [-only analyzer[,analyzer]] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				printf(stderr, "mlocvet: unknown analyzer %q (see mlocvet -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if *list {
+		for _, a := range analyzers {
+			printf(stdout, "%-15s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		printf(stderr, "mlocvet: %v\n", err)
+		return 2
+	}
+	dirs, err := loader.Expand(patterns)
+	if err != nil {
+		printf(stderr, "mlocvet: %v\n", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		printf(stderr, "mlocvet: no packages matched\n")
+		return 2
+	}
+
+	exit := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			printf(stderr, "mlocvet: %v\n", err)
+			return 2
+		}
+		for _, d := range lint.Run(pkg, analyzers) {
+			d.Pos.Filename = relPath(d.Pos.Filename)
+			printf(stdout, "%s\n", d)
+			exit = 1
+		}
+	}
+	return exit
+}
+
+// relPath shortens an absolute diagnostic path relative to the current
+// directory when that makes it strictly shorter to read.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	rel, err := filepath.Rel(wd, path)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return path
+	}
+	return rel
+}

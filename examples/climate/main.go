@@ -27,8 +27,14 @@ func main() {
 	const side = 512
 	tempDS := datagen.GTSLike(side, side, 11)
 	humidDS := datagen.GTSLike(side, side, 23)
-	tv, _ := tempDS.Var("phi")
-	hv, _ := humidDS.Var("phi")
+	tv, err := tempDS.Var("phi")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hv, err := humidDS.Var("phi")
+	if err != nil {
+		log.Fatal(err)
+	}
 	// Shift into climate-like units: temp ~ [250,310] K, humidity [0,100] %.
 	temp := rescale(tv.Data, 250, 310)
 	humid := rescale(hv.Data, 0, 100)

@@ -84,11 +84,11 @@ func main() {
 			cy += float64(coords[0])
 			cx += float64(coords[1])
 		}
-		n := float64(len(res.Matches))
-		if n == 0 {
+		if len(res.Matches) == 0 {
 			fmt.Printf("  step %d: no hot points\n", s)
 			continue
 		}
+		n := float64(len(res.Matches))
 		fmt.Printf("  step %d: %5d hot points, centroid (%.0f, %.0f), query %.3f virtual sec\n",
 			s, len(res.Matches), cy/n, cx/n, res.Time.Total())
 	}

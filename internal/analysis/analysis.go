@@ -39,7 +39,7 @@ func NewEqualWidthHistogram(reference []float64, nbins int) (*EqualWidthHistogra
 			hi = v
 		}
 	}
-	if hi == lo {
+	if hi <= lo { // constant data: widen the degenerate range
 		hi = lo + 1
 	}
 	return &EqualWidthHistogram{lo: lo, hi: hi, nbins: nbins}, nil

@@ -89,7 +89,7 @@ func buildEqualWidth(sample []float64, n int) *Scheme {
 			hi = v
 		}
 	}
-	if hi == lo {
+	if hi <= lo { // constant data: widen the degenerate range
 		hi = lo + 1
 	}
 	bounds := make([]float64, n+1)
@@ -143,9 +143,11 @@ func (s *Scheme) BinOf(v float64) int {
 	if v >= s.bounds[n] {
 		return n - 1
 	}
-	// Binary search for the rightmost bound <= v.
+	// Binary search for the rightmost bound <= v. A value exactly on a
+	// bound belongs to the bin on its right, so the boundary hit is an
+	// intentionally exact comparison.
 	i := sort.SearchFloat64s(s.bounds, v)
-	if i < len(s.bounds) && s.bounds[i] == v {
+	if i < len(s.bounds) && s.bounds[i] == v { //mlocvet:ignore floatcmp
 		if i == n {
 			return n - 1
 		}

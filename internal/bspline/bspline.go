@@ -85,7 +85,9 @@ func basisFuncs(knots []float64, span int, t float64, out *[Degree + 1]float64) 
 		for r := 0; r < j; r++ {
 			denom := right[r+1] + left[j-r]
 			var temp float64
-			if denom != 0 {
+			// Exact zero marks a repeated knot; Cox–de Boor defines the
+			// 0/0 term as 0, so the comparison is intentionally exact.
+			if denom != 0 { //mlocvet:ignore floatcmp
 				temp = out[r] / denom
 			}
 			out[r] = saved + right[r+1]*temp
@@ -187,7 +189,9 @@ func solveLinear(m [][]float64, b []float64) ([]float64, error) {
 				best, pivot = a, r
 			}
 		}
-		if best == 0 {
+		// An exactly-zero pivot column is structurally singular (no
+		// sample touches the basis function), not a rounding artifact.
+		if best == 0 { //mlocvet:ignore floatcmp
 			return nil, fmt.Errorf("bspline: singular normal matrix at column %d", col)
 		}
 		m[col], m[pivot] = m[pivot], m[col]
@@ -196,8 +200,8 @@ func solveLinear(m [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / m[col][col]
 		for r := col + 1; r < n; r++ {
 			f := m[r][col] * inv
-			if f == 0 {
-				continue
+			if f == 0 { //mlocvet:ignore floatcmp
+				continue // exact: skipping a zero factor is a pure fast path
 			}
 			for c := col; c < n; c++ {
 				m[r][c] -= f * m[col][c]

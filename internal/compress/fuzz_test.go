@@ -43,6 +43,17 @@ func FuzzFPCDecode(f *testing.F) {
 	f.Add(seed)
 	f.Add([]byte{})
 	f.Add([]byte{0x03, 0x00})
+	// Truncated streams: a long predictable-then-noisy encoding cut at
+	// the header boundary, mid-record, and one byte short, so the
+	// decoder's count/payload bounds checks all get exercised.
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i%7) * 1.25e8
+	}
+	long, _ := c.EncodeFloats(vals)
+	f.Add(long[:1])
+	f.Add(long[:len(long)/2])
+	f.Add(long[:len(long)-1])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = c.DecodeFloats(data, nil)
 	})

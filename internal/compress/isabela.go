@@ -169,7 +169,7 @@ func (c *Isabela) encodeWindow(out []byte, w []float64) ([]byte, error) {
 	approx := sp.EvalN(n, nil)
 
 	floor := maxAbs * c.cfg.ScaleFloor
-	if floor == 0 {
+	if floor <= 0 {
 		floor = 1 // all-zero window; any scale works, residuals are 0
 	}
 	// Quantize residuals against a scale the decoder can recompute.
@@ -402,7 +402,7 @@ func unpackBits(data []byte, count int, bits uint) ([]uint32, []byte, error) {
 // pointwise bound is RelError relative to max(|v|, ScaleFloor·maxAbs).
 func (c *Isabela) DecodedScale(v, maxAbs float64) float64 {
 	floor := maxAbs * c.cfg.ScaleFloor
-	if floor == 0 {
+	if floor <= 0 {
 		floor = 1
 	}
 	s := math.Abs(v)

@@ -76,7 +76,8 @@ func (z *Zlib) DecodeBytes(data []byte, dst []byte) ([]byte, error) {
 	}
 	buf := bytes.NewBuffer(dst)
 	if _, err := io.Copy(buf, r); err != nil {
-		r.Close()
+		// The decode error takes precedence over any close error.
+		_ = r.Close() //mlocvet:ignore uncheckederr
 		return nil, fmt.Errorf("compress: zlib decode: %w", err)
 	}
 	if err := r.Close(); err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"mloc/internal/plod"
 	"mloc/internal/query"
@@ -85,13 +86,21 @@ func (s *Store) Explain(req *query.Request) (*Plan, error) {
 	return p, nil
 }
 
-// Render writes a human-readable plan.
-func (p *Plan) Render(w io.Writer) {
-	fmt.Fprintf(w, "plan (order %s):\n", p.Order)
-	fmt.Fprintf(w, "  bins: %d aligned, %d misaligned\n", p.AlignedBins, p.MisalignedBins)
-	fmt.Fprintf(w, "  chunks selected: %d\n", p.ChunksSelected)
-	fmt.Fprintf(w, "  units: %d touched, %d with data reads (%d planes each)\n",
+// String renders a human-readable plan.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan (order %s):\n", p.Order)
+	fmt.Fprintf(&sb, "  bins: %d aligned, %d misaligned\n", p.AlignedBins, p.MisalignedBins)
+	fmt.Fprintf(&sb, "  chunks selected: %d\n", p.ChunksSelected)
+	fmt.Fprintf(&sb, "  units: %d touched, %d with data reads (%d planes each)\n",
 		p.Units, p.UnitsWithData, p.PlanesRead)
-	fmt.Fprintf(w, "  est. I/O: %d index bytes + %d data bytes over %d candidate points\n",
+	fmt.Fprintf(&sb, "  est. I/O: %d index bytes + %d data bytes over %d candidate points\n",
 		p.IndexBytes, p.DataBytes, p.Points)
+	return sb.String()
+}
+
+// Render writes the human-readable plan to w.
+func (p *Plan) Render(w io.Writer) error {
+	_, err := io.WriteString(w, p.String())
+	return err
 }

@@ -103,7 +103,9 @@ func TestPlanRender(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	plan.Render(&buf)
+	if err := plan.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	for _, want := range []string{"plan (order V-M-S)", "bins:", "chunks selected", "est. I/O"} {
 		if !strings.Contains(out, want) {

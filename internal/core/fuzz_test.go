@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"mloc/internal/datagen"
+	"mloc/internal/grid"
 	"mloc/internal/pfs"
 )
 
@@ -21,9 +22,33 @@ func FuzzMetaUnmarshal(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	f.Add(st.meta.marshal())
+	full := st.meta.marshal()
+	f.Add(full)
 	f.Add([]byte{})
 	f.Add([]byte{0x43, 0x4f, 0x4c, 0x4d}) // magic only
+	// Truncated PLoD byte-plane tables: cutting the catalog mid-way
+	// leaves unit plane offset/length entries running past the buffer,
+	// which the decoder must reject without panicking.
+	f.Add(full[:len(full)/2])
+	f.Add(full[:3*len(full)/4])
+	f.Add(full[:len(full)-1])
+	// Zero-length bins: constant data lands every point in one bin and
+	// leaves the other bins empty, so the catalog carries bins with no
+	// units at all.
+	flat := make([]float64, 64)
+	for i := range flat {
+		flat[i] = 1
+	}
+	cfgFlat := DefaultConfig([]int{4, 4})
+	cfgFlat.NumBins = 4
+	cfgFlat.SampleSize = 64
+	stFlat, err := Build(fs, fs.NewClock(), "fz/flat", grid.Shape{8, 8}, flat, cfgFlat)
+	if err != nil {
+		f.Fatal(err)
+	}
+	flatMeta := stFlat.meta.marshal()
+	f.Add(flatMeta)
+	f.Add(flatMeta[:len(flatMeta)-2]) // zero-length bins, truncated tail
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := unmarshalStoreMeta(data)
 		if err == nil && m == nil {
@@ -38,6 +63,9 @@ func FuzzDecodeOffsets(f *testing.F) {
 	f.Add([]byte{1, 2, 3}, 3)
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01}, 1)
 	f.Add([]byte{}, 0)
+	f.Add([]byte{}, 5)     // zero-length stream claiming entries
+	f.Add([]byte{0x80}, 1) // unterminated varint
+	f.Add([]byte{1, 2}, 3) // stream truncated mid-count
 	f.Fuzz(func(t *testing.T, raw []byte, count int) {
 		if count < 0 || count > 1<<16 {
 			return

@@ -267,7 +267,7 @@ func (r *byteReader) str() string {
 
 func (r *byteReader) fail() {
 	if r.err == nil {
-		r.err = fmt.Errorf("unexpected end of buffer at %d", r.pos)
+		r.err = fmt.Errorf("unexpected end of buffer at %d", r.pos) //mlocvet:ignore errprefix
 	}
 }
 

@@ -109,8 +109,8 @@ func degrade(values []float64, level int) []float64 {
 func fmtPct(f float64) string {
 	pct := f * 100
 	switch {
-	case pct == 0:
-		return "0%"
+	case pct == 0: //mlocvet:ignore floatcmp
+		return "0%" // exact: only a true zero prints as "0%"
 	case pct < 0.001:
 		return fmt.Sprintf("%.1E%%", pct)
 	case pct < 1:

@@ -66,9 +66,10 @@ type TableResult struct {
 	Notes  []string
 }
 
-// Render writes the table as aligned text.
-func (t *TableResult) Render(w io.Writer) {
-	fmt.Fprintf(w, "%s\n", t.Title)
+// String renders the table as aligned text.
+func (t *TableResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
 	widths := make([]int, len(t.Header))
 	for i, h := range t.Header {
 		widths[i] = len(h)
@@ -85,7 +86,7 @@ func (t *TableResult) Render(w io.Writer) {
 		for i, c := range cells {
 			parts[i] = pad(c, widths[i])
 		}
-		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+		fmt.Fprintf(&sb, "  %s\n", strings.Join(parts, "  "))
 	}
 	line(t.Header)
 	sep := make([]string, len(t.Header))
@@ -97,9 +98,16 @@ func (t *TableResult) Render(w io.Writer) {
 		line(row)
 	}
 	for _, n := range t.Notes {
-		fmt.Fprintf(w, "  note: %s\n", n)
+		fmt.Fprintf(&sb, "  note: %s\n", n)
 	}
-	fmt.Fprintln(w)
+	fmt.Fprintln(&sb)
+	return sb.String()
+}
+
+// Render writes the aligned-text table to w.
+func (t *TableResult) Render(w io.Writer) error {
+	_, err := io.WriteString(w, t.String())
+	return err
 }
 
 func pad(s string, w int) string {
@@ -217,7 +225,7 @@ func buildMLOC(w *workload, v mlocVariant) (*core.Store, *pfs.Sim, error) {
 	cfg := mlocConfig(v, w.chunk)
 	st, err := core.Build(fs, pfs.NewClock(), "mloc", w.ds.Shape, w.data(), cfg)
 	if err != nil {
-		return nil, nil, fmt.Errorf("build %s on %s: %w", v, w.name, err)
+		return nil, nil, fmt.Errorf("experiments: build %s on %s: %w", v, w.name, err)
 	}
 	return st, fs, nil
 }

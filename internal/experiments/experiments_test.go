@@ -24,7 +24,9 @@ func renderOK(t *testing.T, tab *TableResult, wantRows int) string {
 		}
 	}
 	var buf bytes.Buffer
-	tab.Render(&buf)
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
 	out := buf.String()
 	if !strings.Contains(out, tab.Title) {
 		t.Fatalf("render missing title")

@@ -31,7 +31,7 @@ func Figure6(p Params) (*TableResult, error) {
 		}
 		_, comps, err := avgQueryTime(ts.sys, ts.fs, gen, p.Queries, ranks)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", ts.name, err)
+			return nil, fmt.Errorf("experiments: %s: %w", ts.name, err)
 		}
 		t.Rows = append(t.Rows, []string{
 			ts.name,

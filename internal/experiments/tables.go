@@ -186,7 +186,7 @@ func queryTimeTable(title string, systems func(w *workload) ([]timedSystem, erro
 			}
 			mean, _, err := avgQueryTime(ts.sys, ts.fs, c.gen, p.Queries, ranks)
 			if err != nil {
-				return nil, fmt.Errorf("%s / %s: %w", ts.name, c.lbl, err)
+				return nil, fmt.Errorf("experiments: %s / %s: %w", ts.name, c.lbl, err)
 			}
 			row = append(row, fmtSec(mean))
 		}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CommEscape keeps *mpi.Comm rank-local, as its documentation demands:
+// a Comm is one rank's handle onto the communicator and is only valid
+// inside the body passed to mpi.Run. Storing it in a struct field,
+// sending it over a channel, or capturing it in a go statement lets a
+// different goroutine drive another rank's collectives — the classic
+// way to deadlock a barrier or corrupt an AllGather slot. The
+// internal/mpi package itself is exempt: it owns the type.
+var CommEscape = &Analyzer{
+	Name: "commescape",
+	Doc:  "*mpi.Comm must not be stored in struct fields, sent on channels, or captured by go statements",
+	Run:  runCommEscape,
+}
+
+func runCommEscape(p *Pass) {
+	if pathHasSuffix(p.Pkg.Path, "internal/mpi") {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, fld := range n.Fields.List {
+					if containsComm(info.TypeOf(fld.Type)) {
+						p.Reportf(fld.Pos(), "struct field stores *mpi.Comm; a Comm is rank-local and must stay inside its rank's mpi.Run body")
+					}
+				}
+			case *ast.ChanType:
+				if containsComm(info.TypeOf(n.Value)) {
+					p.Reportf(n.Pos(), "channel of *mpi.Comm; a Comm is rank-local and must not cross goroutines")
+				}
+			case *ast.SendStmt:
+				if containsComm(info.TypeOf(n.Value)) {
+					p.Reportf(n.Arrow, "*mpi.Comm sent on a channel; a Comm is rank-local and must not cross goroutines")
+				}
+			case *ast.GoStmt:
+				for _, arg := range n.Call.Args {
+					if containsComm(info.TypeOf(arg)) {
+						p.Reportf(arg.Pos(), "*mpi.Comm passed to a goroutine; a Comm is rank-local and must not cross goroutines")
+					}
+				}
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					reportCommCaptures(p, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportCommCaptures flags identifiers inside a go-statement function
+// literal that refer to Comm-typed objects declared outside it.
+func reportCommCaptures(p *Pass, lit *ast.FuncLit) {
+	seen := make(map[types.Object]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Pkg.Info.Uses[id]
+		if obj == nil || seen[obj] || !containsComm(obj.Type()) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true // declared inside the literal: rank-local again
+		}
+		seen[obj] = true
+		p.Reportf(id.Pos(), "go statement captures *mpi.Comm %s; a Comm is rank-local and must not cross goroutines", id.Name)
+		return true
+	})
+}
+
+// containsComm reports whether t is, points to, or transitively
+// contains (through slices, arrays, maps, channels, or pointers) the
+// mpi.Comm type.
+func containsComm(t types.Type) bool {
+	for depth := 0; t != nil && depth < 16; depth++ {
+		if named, ok := t.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Comm" && obj.Pkg() != nil && pathHasSuffix(obj.Pkg().Path(), "internal/mpi") {
+				return true
+			}
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Chan:
+			t = u.Elem()
+		case *types.Map:
+			if containsComm(u.Key()) {
+				return true
+			}
+			t = u.Elem()
+		default:
+			return false
+		}
+	}
+	return false
+}

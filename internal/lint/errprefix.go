@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// ErrPrefix enforces the repository's error-string convention: every
+// error constructed with fmt.Errorf or errors.New starts with the
+// owning package's "<pkg>: " prefix, so a message surfacing at the top
+// of a query or experiment run names the layer it came from. Helper
+// errors that are always re-wrapped with the prefix by their callers
+// may opt out with //mlocvet:ignore errprefix. Package main is exempt:
+// commands print errors directly under their own program name.
+var ErrPrefix = &Analyzer{
+	Name: "errprefix",
+	Doc:  `error strings must start with the owning package's "<pkg>: " prefix`,
+	Run:  runErrPrefix,
+}
+
+func runErrPrefix(p *Pass) {
+	if p.Pkg.Name == "main" {
+		return
+	}
+	want := p.Pkg.Name + ": "
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgFunc(p.Pkg, call.Fun, "fmt", "Errorf") && !isPkgFunc(p.Pkg, call.Fun, "errors", "New") {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if len(s) >= len(want) && s[:len(want)] == want {
+				return true
+			}
+			p.Reportf(lit.Pos(), "error string %q does not start with %q", clip(s, 40), want)
+			return true
+		})
+	}
+}
+
+// clip shortens s to at most n runes for diagnostics.
+func clip(s string, n int) string {
+	r := []rune(s)
+	if len(r) <= n {
+		return s
+	}
+	return string(r[:n]) + "..."
+}
+
+// isPkgFunc reports whether fun is a selector pkg.name referring to
+// the function name of the package imported under path pkgPath.
+func isPkgFunc(pkg *Package, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}

@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// ExportedDoc requires doc comments on exported identifiers. The
+// internal/ tree is this repository's API surface between subsystems —
+// core talks to pfs, mpi, plod, compress through exported names — and
+// an undocumented export is how convention drift starts. Package main
+// is exempt (commands export nothing importable).
+var ExportedDoc = &Analyzer{
+	Name: "exporteddoc",
+	Doc:  "exported identifiers need doc comments",
+	Run:  runExportedDoc,
+}
+
+func runExportedDoc(p *Pass) {
+	if p.Pkg.Name == "main" {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(p, d)
+			case *ast.GenDecl:
+				checkGenDoc(p, d)
+			}
+		}
+	}
+}
+
+// checkFuncDoc flags exported functions and methods (on exported
+// receivers) lacking a doc comment.
+func checkFuncDoc(p *Pass, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || d.Doc != nil {
+		return
+	}
+	kind := "function"
+	if d.Recv != nil {
+		base := receiverBase(d.Recv)
+		if base == "" || !token.IsExported(base) {
+			return // method on an unexported type: not part of the API
+		}
+		kind = "method"
+	}
+	p.Reportf(d.Name.Pos(), "exported %s %s is missing a doc comment", kind, d.Name.Name)
+}
+
+// checkGenDoc flags exported types, consts, and vars lacking both a
+// declaration-group doc and a per-spec doc.
+func checkGenDoc(p *Pass, d *ast.GenDecl) {
+	groupDoc := d.Doc != nil
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && s.Doc == nil {
+				p.Reportf(s.Name.Pos(), "exported type %s is missing a doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || s.Doc != nil {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					p.Reportf(name.Pos(), "exported %s %s is missing a doc comment", kind, name.Name)
+				}
+			}
+		}
+	}
+}
+
+// receiverBase returns the receiver's base type name, or "" when it is
+// not a plain (possibly pointered, possibly generic) named type.
+func receiverBase(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok {
+		t = idx.X
+	}
+	if idx, ok := t.(*ast.IndexListExpr); ok {
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}

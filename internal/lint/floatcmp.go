@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmp forbids == and != on floating-point operands. Binning,
+// B-spline fitting, and the ISABELA/ISOBAR codecs all compare
+// reconstructed values, where exact equality silently turns a
+// quantization wobble into a wrong bin or a dropped match; comparisons
+// belong behind a tolerance (or math.Nextafter-style ULP logic).
+// Intentional exact checks — unset-zero sentinels, bit-pattern
+// round-trips — opt out with //mlocvet:ignore floatcmp. Test files are
+// outside the suite's scope by construction.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "no == or != on floating-point operands outside _test.go files",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(p.Pkg.Info.TypeOf(be.X)) || isFloat(p.Pkg.Info.TypeOf(be.Y)) {
+				p.Reportf(be.OpPos, "%s on floating-point operands; compare with a tolerance", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

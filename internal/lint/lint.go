@@ -1,0 +1,192 @@
+// Package lint implements mlocvet's stdlib-only static-analysis
+// framework: a module-aware package loader built on go/parser and
+// go/types, a small analyzer API, and the //mlocvet:ignore suppression
+// machinery shared by the analyzers in this package.
+//
+// The analyzers machine-enforce repository conventions that ordinary
+// `go vet` does not know about:
+//
+//   - spmd-goroutine: bare go statements outside internal/mpi and
+//     internal/stage (all parallelism flows through the SPMD runtime)
+//   - errprefix: error strings must carry the owning package's
+//     "<pkg>: " prefix
+//   - floatcmp: no == / != on floating-point operands outside tests
+//   - commescape: *mpi.Comm is rank-local and must not be stored in
+//     struct fields, sent on channels, or captured by go statements
+//   - uncheckederr: error results must not be discarded via _ or a
+//     bare call statement
+//   - exporteddoc: exported identifiers in library packages need doc
+//     comments
+//
+// The package deliberately depends only on the standard library
+// (go/ast, go/parser, go/token, go/types) so the module keeps its
+// zero-dependency go.mod.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	// Pos locates the finding; only Filename and Line are rendered.
+	Pos token.Position
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the finding.
+	Message string
+}
+
+// String renders the diagnostic in mlocvet's canonical
+// "file:line: analyzer: message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name is the short kebab-case identifier used in diagnostics and
+	// //mlocvet:ignore comments.
+	Name string
+	// Doc is a one-line description shown by `mlocvet -list`.
+	Doc string
+	// Run applies the check, reporting findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one analyzer's view of one package plus the diagnostic
+// sink.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Pkg is the loaded package under analysis.
+	Pkg   *Package
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SPMDGoroutine,
+		ErrPrefix,
+		FloatCmp,
+		CommEscape,
+		UncheckedErr,
+		ExportedDoc,
+	}
+}
+
+// ByName resolves an analyzer by its Name, or nil if unknown.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies the given analyzers to pkg, drops findings suppressed by
+// //mlocvet:ignore comments, and returns the rest sorted by position.
+func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+	}
+	diags = filterIgnored(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos.Filename != diags[j].Pos.Filename {
+			return diags[i].Pos.Filename < diags[j].Pos.Filename
+		}
+		if diags[i].Pos.Line != diags[j].Pos.Line {
+			return diags[i].Pos.Line < diags[j].Pos.Line
+		}
+		if diags[i].Pos.Column != diags[j].Pos.Column {
+			return diags[i].Pos.Column < diags[j].Pos.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags
+}
+
+// ignoreDirective is the comment prefix that suppresses findings. A
+// directive names one or more analyzers ("//mlocvet:ignore floatcmp"
+// or "//mlocvet:ignore floatcmp,errprefix") and applies to its own
+// line — as a trailing comment — or to the line directly below it.
+const ignoreDirective = "//mlocvet:ignore"
+
+// filterIgnored removes diagnostics whose line carries (or follows) an
+// ignore directive naming the diagnostic's analyzer.
+func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignored := ignoredLines(pkg)
+	if len(ignored) == 0 {
+		return diags
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		byLine := ignored[d.Pos.Filename]
+		if containsName(byLine[d.Pos.Line], d.Analyzer) ||
+			containsName(byLine[d.Pos.Line-1], d.Analyzer) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// ignoredLines collects the analyzers suppressed per file and line.
+func ignoredLines(pkg *Package) map[string]map[int][]string {
+	out := make(map[string]map[int][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				names := strings.FieldsFunc(rest, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				})
+				if len(names) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], names...)
+			}
+		}
+	}
+	return out
+}
+
+// containsName reports whether names includes name.
+func containsName(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// pathHasSuffix reports whether import path p ends in the
+// slash-separated suffix (e.g. "internal/mpi").
+func pathHasSuffix(p, suffix string) bool {
+	return p == suffix || strings.HasSuffix(p, "/"+suffix)
+}

@@ -1,0 +1,28 @@
+package lint
+
+import "go/ast"
+
+// SPMDGoroutine forbids bare go statements outside the SPMD runtime.
+// All parallelism in MLOC flows through internal/mpi (the rank
+// runtime) or internal/stage (the staging workers); ad-hoc goroutines
+// elsewhere bypass the barrier/collective discipline the query engine
+// relies on and are where data races breed.
+var SPMDGoroutine = &Analyzer{
+	Name: "spmd-goroutine",
+	Doc:  "bare go statements are forbidden outside internal/mpi and internal/stage",
+	Run:  runSPMDGoroutine,
+}
+
+func runSPMDGoroutine(p *Pass) {
+	if pathHasSuffix(p.Pkg.Path, "internal/mpi") || pathHasSuffix(p.Pkg.Path, "internal/stage") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Reportf(g.Pos(), "bare go statement outside the SPMD runtime; route parallelism through internal/mpi or internal/stage")
+			}
+			return true
+		})
+	}
+}

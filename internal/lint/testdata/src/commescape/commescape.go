@@ -1,0 +1,39 @@
+// Package commescape is a mlocvet fixture for rank-local Comm escape
+// checks. It imports the real SPMD runtime so the analyzer sees the
+// genuine mpi.Comm type.
+package commescape
+
+import "mloc/internal/mpi"
+
+type badHolder struct {
+	comm *mpi.Comm // want `struct field stores \*mpi\.Comm`
+}
+
+type badSlice struct {
+	comms []*mpi.Comm // want `struct field stores \*mpi\.Comm`
+}
+
+var pipe chan *mpi.Comm // want `channel of \*mpi\.Comm`
+
+func send(c *mpi.Comm) {
+	pipe <- c // want `\*mpi\.Comm sent on a channel`
+}
+
+func capture(c *mpi.Comm) {
+	go func() {
+		_ = c.Rank() // want `go statement captures \*mpi\.Comm c`
+	}()
+}
+
+func pass(c *mpi.Comm) {
+	go useComm(c) // want `\*mpi\.Comm passed to a goroutine`
+}
+
+func useComm(c *mpi.Comm) { _ = c.Rank() }
+
+func fine(c *mpi.Comm) (int, error) {
+	if err := c.Barrier(); err != nil {
+		return 0, err
+	}
+	return c.Rank(), nil // plain rank-local use: no diagnostic
+}

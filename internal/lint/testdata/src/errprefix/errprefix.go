@@ -1,0 +1,31 @@
+// Package errprefix is a mlocvet fixture for the error-prefix
+// convention.
+package errprefix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBare = errors.New("boom")                 // want `error string "boom" does not start with "errprefix: "`
+var errWrongPkg = errors.New("core: not mine")   // want `does not start with "errprefix: "`
+var errGood = errors.New("errprefix: good boom") // prefixed: no diagnostic
+
+//mlocvet:ignore errprefix
+var errSuppressed = errors.New("wrapped later by the caller")
+
+func badf(n int) error {
+	return fmt.Errorf("bad value %d", n) // want `does not start with "errprefix: "`
+}
+
+func goodf(n int) error {
+	return fmt.Errorf("errprefix: bad value %d", n)
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("errprefix: outer: %w", err)
+}
+
+func nonLiteral(format string) error {
+	return fmt.Errorf(format) // non-literal format: not checkable, no diagnostic
+}

@@ -1,0 +1,34 @@
+// Package exporteddoc is a mlocvet fixture for doc-comment coverage.
+package exporteddoc
+
+// Documented has a doc comment.
+type Documented struct{}
+
+type Undocumented struct{} // want `exported type Undocumented is missing a doc comment`
+
+// Grouped declarations share the group doc.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const Bare = 3 // want `exported const Bare is missing a doc comment`
+
+var Loose int // want `exported var Loose is missing a doc comment`
+
+// Do is documented.
+func (Documented) Do() {}
+
+func (Documented) Miss() {} // want `exported method Miss is missing a doc comment`
+
+func Export() {} // want `exported function Export is missing a doc comment`
+
+func unexported() {}
+
+type hidden struct{}
+
+// Method is documented but its receiver is unexported either way.
+func (hidden) Method() {}
+
+var _ = unexported
+var _ hidden

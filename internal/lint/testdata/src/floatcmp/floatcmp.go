@@ -1,0 +1,36 @@
+// Package floatcmp is a mlocvet fixture for float equality checks.
+package floatcmp
+
+type reading float64
+
+func eq(a, b float64) bool {
+	return a == b // want `== on floating-point operands`
+}
+
+func loop(vals []float64, x float32) int {
+	n := 0
+	for _, v := range vals {
+		if v != 1.5 { // want `!= on floating-point operands`
+			n++
+		}
+	}
+	if x == 0 { // want `== on floating-point operands`
+		n++
+	}
+	return n
+}
+
+func named(r reading) bool {
+	return r == 2.5 // want `== on floating-point operands`
+}
+
+func sentinel(scale float64) float64 {
+	if scale == 0 { //mlocvet:ignore floatcmp
+		return 1
+	}
+	return scale
+}
+
+func ints(a, b int) bool {
+	return a == b // integers: no diagnostic
+}

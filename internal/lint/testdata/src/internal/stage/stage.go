@@ -1,0 +1,10 @@
+// Package stage is a mlocvet fixture proving the spmd-goroutine
+// exemption: packages whose import path ends in internal/stage (or
+// internal/mpi) own the SPMD runtime and may start goroutines freely.
+package stage
+
+func workers(n int, work func()) {
+	for i := 0; i < n; i++ {
+		go work() // no diagnostic: this package is the runtime
+	}
+}

@@ -1,0 +1,12 @@
+// Package spmd is a mlocvet fixture with forbidden bare go statements.
+package spmd
+
+func launch(work func()) {
+	go work() // want `bare go statement outside the SPMD runtime`
+	done := make(chan struct{})
+	go func() { // want `bare go statement outside the SPMD runtime`
+		defer close(done)
+		work()
+	}()
+	<-done
+}

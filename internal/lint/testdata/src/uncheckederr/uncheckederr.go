@@ -1,0 +1,42 @@
+// Package uncheckederr is a mlocvet fixture for discarded errors.
+package uncheckederr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func may() error { return errors.New("uncheckederr: boom") }
+
+func pair() (int, error) { return 0, errors.New("uncheckederr: boom") }
+
+func bad() int {
+	may()          // want `result of may includes an error that is discarded by the bare call`
+	_ = may()      // want `error value discarded via _`
+	_, _ = pair()  // want `error result of pair discarded via _`
+	n, _ := pair() // want `error result of pair discarded via _`
+	return n
+}
+
+func suppressed() {
+	_ = may() //mlocvet:ignore uncheckederr
+}
+
+func exempt(sb *strings.Builder) {
+	fmt.Println("hello")     // exempt: terminal output
+	sb.WriteString("x")      // exempt: Builder writes cannot fail
+	fmt.Fprintf(sb, "%d", 1) // exempt: safe writer
+}
+
+func checked() error {
+	if err := may(); err != nil {
+		return fmt.Errorf("uncheckederr: %w", err)
+	}
+	v, err := pair()
+	if err != nil {
+		return err
+	}
+	_ = v // non-error discard: no diagnostic
+	return nil
+}

@@ -3,6 +3,7 @@ package mpi
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 
@@ -283,5 +284,62 @@ func BenchmarkAllGather8(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// TestRunContention8Ranks hammers every collective from 8 concurrent
+// ranks with deliberately skewed arrival times. It is the regression
+// net for the shared errs and slot slices inside Run and AllGather:
+// run under the race detector (`make race`, or
+// `go test -race ./internal/mpi`) it fails on any unsynchronized
+// access the scheduler can surface.
+func TestRunContention8Ranks(t *testing.T) {
+	const (
+		ranks  = 8
+		rounds = 200
+	)
+	err := Run(ranks, func(c *Comm) error {
+		for round := 0; round < rounds; round++ {
+			// Jitter arrival order so ranks hit the collectives from
+			// different scheduling states each round.
+			for i := 0; i < (c.Rank()*7+round)%13; i++ {
+				runtime.Gosched()
+			}
+			vals, err := AllGather(c, c.Rank()*rounds+round)
+			if err != nil {
+				return err
+			}
+			for r, v := range vals {
+				if want := r*rounds + round; v != want {
+					return fmt.Errorf("round %d: slot %d = %d, want %d", round, r, v, want)
+				}
+			}
+			total, err := AllReduce(c, 1, func(a, b int) int { return a + b })
+			if err != nil {
+				return err
+			}
+			if total != ranks {
+				return fmt.Errorf("round %d: AllReduce sum = %d, want %d", round, total, ranks)
+			}
+			root := round % ranks
+			g, err := Gather(c, root, round)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == root {
+				if len(g) != ranks {
+					return fmt.Errorf("round %d: Gather returned %d values on root", round, len(g))
+				}
+			} else if g != nil {
+				return fmt.Errorf("round %d: Gather returned values on non-root %d", round, c.Rank())
+			}
+			if err := c.Barrier(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }

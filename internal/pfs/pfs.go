@@ -143,7 +143,7 @@ func (c *Clock) AdvanceCPU(d float64) float64 {
 		return 0
 	}
 	scale := c.cpuScale
-	if scale == 0 {
+	if scale <= 0 { // zero means unset (Config.CPUScale doc)
 		scale = 1
 	}
 	d *= scale
@@ -249,7 +249,7 @@ func (s *Sim) Config() Config { return s.cfg }
 // compute projects to the simulated data scale.
 func (s *Sim) NewClock() *Clock {
 	scale := s.cfg.CPUScale
-	if scale == 0 {
+	if scale <= 0 { // zero means unset (Config.CPUScale doc)
 		scale = 1
 	}
 	return &Clock{cpuScale: scale, contention: 1, cpuMu: &s.cpuMu}
@@ -275,7 +275,7 @@ func (s *Sim) NewClocks(n int) []*Clock {
 
 // byteScale returns the effective transfer-time multiplier.
 func (s *Sim) byteScale() float64 {
-	if s.cfg.ByteScale == 0 {
+	if s.cfg.ByteScale <= 0 { // zero means unset (Config.ByteScale doc)
 		return 1
 	}
 	return s.cfg.ByteScale
