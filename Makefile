@@ -1,11 +1,12 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-# Packages exercising the goroutine-based SPMD runtime — the ones where
-# a data race would actually bite.
-RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage
+# Packages exercising the goroutine-based SPMD runtime and the
+# concurrent query service — the ones where a data race would actually
+# bite.
+RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage ./internal/cache ./internal/server
 
-.PHONY: build test vet mlocvet race fuzz-short check
+.PHONY: build test vet mlocvet race fuzz-short serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -37,6 +38,12 @@ fuzz-short:
 	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzBitUnpack$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzMetaUnmarshal$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzDecodeOffsets$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzDecodeRequest$$' -fuzztime=$(FUZZTIME)
+
+## serve-smoke: boot mlocd, query it twice via mlocctl, assert the
+## second query hits the shared decode cache, drain gracefully.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 ## check: everything CI runs (minus the fuzzing).
-check: build test vet race
+check: build test vet race serve-smoke

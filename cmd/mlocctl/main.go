@@ -13,6 +13,8 @@
 //	mlocctl gen   -dataset gts|s3d -side N -seed S -out data.f64
 //	mlocctl run   -in data.f64 -shape 1024x1024 [flags]
 //	mlocctl run   -dataset gts -side 512 [flags]      # generate inline
+//	mlocctl query -remote HOST:PORT -var NAME [flags] # query a running mlocd
+//	mlocctl stats -remote HOST:PORT                   # mlocd counters, one "key value" per line
 //
 // Run flags:
 //
@@ -60,6 +62,10 @@ func main() {
 		err = cmdGen(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -71,7 +77,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mlocctl <gen|run> [flags]   (run `mlocctl run -h` for flags)")
+	fmt.Fprintln(os.Stderr, "usage: mlocctl <gen|run|query|stats> [flags]   (run `mlocctl <cmd> -h` for flags)")
 }
 
 func cmdGen(args []string) error {

@@ -1,0 +1,211 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"mloc/internal/grid"
+)
+
+// remoteClient is the shared HTTP plumbing of the query/stats
+// subcommands.
+type remoteClient struct {
+	base string
+	http *http.Client
+}
+
+func newRemoteClient(addr string) (*remoteClient, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("-remote address is required (e.g. -remote 127.0.0.1:8080)")
+	}
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &remoteClient{
+		base: strings.TrimSuffix(addr, "/"),
+		http: &http.Client{Timeout: 60 * time.Second},
+	}, nil
+}
+
+// getJSON decodes a GET endpoint into out.
+func (c *remoteClient) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// remoteError surfaces the server's JSON error envelope.
+func remoteError(resp *http.Response) error {
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error != "" {
+		return fmt.Errorf("server returned %s: %s", resp.Status, envelope.Error)
+	}
+	return fmt.Errorf("server returned %s", resp.Status)
+}
+
+// remoteShape asks /vars for the variable's grid shape so matches can
+// be printed as coordinates, matching `mlocctl run` output.
+func (c *remoteClient) remoteShape(varName string) (grid.Shape, error) {
+	var vars []struct {
+		Var   string `json:"var"`
+		Shape []int  `json:"shape"`
+	}
+	if err := c.getJSON("/vars", &vars); err != nil {
+		return nil, err
+	}
+	for _, v := range vars {
+		if v.Var == varName {
+			return grid.Shape(v.Shape), nil
+		}
+	}
+	return nil, fmt.Errorf("server does not serve variable %q", varName)
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	remote := fs.String("remote", "", "mlocd address, e.g. 127.0.0.1:8080")
+	varName := fs.String("var", "", "variable to query (required)")
+	vcStr := fs.String("vc", "", "value constraint lo:hi")
+	scStr := fs.String("sc", "", "spatial constraint a:b,c:d per dimension")
+	plod := fs.Int("plod", 0, "PLoD level 1-7 (0 = full precision)")
+	indexOnly := fs.Bool("index-only", false, "return positions only")
+	ranks := fs.Int("ranks", 0, "parallel ranks (0 = server default)")
+	maxPrint := fs.Int("print", 5, "matches to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	if *varName == "" {
+		return fmt.Errorf("query: -var is required")
+	}
+
+	// Assemble the wire request, reusing the local parsers so the CLI
+	// accepts identical constraint syntax for local and remote queries.
+	body := map[string]any{"var": *varName}
+	if *vcStr != "" {
+		vc, err := parseVC(*vcStr)
+		if err != nil {
+			return err
+		}
+		body["vc"] = map[string]float64{"min": vc.Min, "max": vc.Max}
+	}
+	if *scStr != "" {
+		dims := strings.Count(*scStr, ",") + 1
+		sc, err := parseSC(*scStr, dims)
+		if err != nil {
+			return err
+		}
+		body["sc"] = map[string][]int{"lo": sc.Lo, "hi": sc.Hi}
+	}
+	if *plod != 0 {
+		body["plod"] = *plod
+	}
+	if *indexOnly {
+		body["index_only"] = true
+	}
+	if *ranks != 0 {
+		body["ranks"] = *ranks
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+
+	resp, err := client.http.Post(client.base+"/query", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	var res struct {
+		Matches []struct {
+			Index int64   `json:"index"`
+			Value float64 `json:"value"`
+		} `json:"matches"`
+		MatchesTotal int   `json:"matches_total"`
+		Truncated    bool  `json:"truncated"`
+		BinsAccessed int   `json:"bins_accessed"`
+		BlocksRead   int   `json:"blocks_read"`
+		BytesRead    int64 `json:"bytes_read"`
+		CacheHits    int   `json:"cache_hits"`
+		Time         struct {
+			IO          float64 `json:"io"`
+			Decompress  float64 `json:"decompress"`
+			Reconstruct float64 `json:"reconstruct"`
+			Total       float64 `json:"total"`
+		} `json:"time"`
+		QueuedMS float64 `json:"queued_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return err
+	}
+
+	shape, err := client.remoteShape(*varName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("query: %d matches, %d bins touched, %d blocks read, %.2f MB read, %d cache hits\n",
+		res.MatchesTotal, res.BinsAccessed, res.BlocksRead, float64(res.BytesRead)/1e6, res.CacheHits)
+	fmt.Printf("  time: io %.4fs, decompress %.4fs, reconstruct %.4fs, total %.4fs (virtual)\n",
+		res.Time.IO, res.Time.Decompress, res.Time.Reconstruct, res.Time.Total)
+	for i, m := range res.Matches {
+		if i >= *maxPrint {
+			fmt.Printf("  ... and %d more\n", res.MatchesTotal-*maxPrint)
+			break
+		}
+		coords := shape.Coords(m.Index, nil)
+		if *indexOnly {
+			fmt.Printf("  match at %v\n", coords)
+		} else {
+			fmt.Printf("  match at %v = %g\n", coords, m.Value)
+		}
+	}
+	if res.Truncated {
+		fmt.Printf("  (response truncated to %d of %d matches)\n", len(res.Matches), res.MatchesTotal)
+	}
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	remote := fs.String("remote", "", "mlocd address, e.g. 127.0.0.1:8080")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	var stats map[string]int64
+	if err := client.getJSON("/stats", &stats); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s %d\n", k, stats[k])
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"mloc/internal/cache"
+	"mloc/internal/core"
+	"mloc/internal/datagen"
+	"mloc/internal/pfs"
+	"mloc/internal/server"
+)
+
+// startTestDaemon boots a server.Handler over one tiny store, exactly
+// what a local mlocd would serve.
+func startTestDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	d := datagen.GTSLike(32, 32, 1)
+	v, _ := d.Var("phi")
+	cfg := core.DefaultConfig([]int{8, 8})
+	cfg.NumBins = 8
+	cfg.SampleSize = 256
+	sim := pfs.New(pfs.DefaultConfig())
+	st, err := core.Build(sim, sim.NewClock(), "t/phi", d.Shape, v.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cache.New(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := server.New(server.Config{
+		Stores:       map[string]*core.Store{"phi": st},
+		Cache:        c,
+		DefaultRanks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestNewRemoteClient(t *testing.T) {
+	if _, err := newRemoteClient(""); err == nil {
+		t.Error("empty -remote accepted")
+	}
+	c, err := newRemoteClient("127.0.0.1:9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(c.base, "http://") {
+		t.Errorf("bare host:port not given a scheme: %q", c.base)
+	}
+	c2, err := newRemoteClient("https://example.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.base != "https://example.com" {
+		t.Errorf("explicit scheme mangled: %q", c2.base)
+	}
+}
+
+func TestCmdQueryRemote(t *testing.T) {
+	ts := startTestDaemon(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	err := cmdQuery([]string{
+		"-remote", addr,
+		"-var", "phi",
+		"-vc", "-1e30:1e30",
+		"-sc", "0:15,0:15",
+		"-ranks", "1",
+	})
+	if err != nil {
+		t.Fatalf("cmdQuery: %v", err)
+	}
+	// Error paths: unknown variable, missing -var, unreachable server.
+	if err := cmdQuery([]string{"-remote", addr, "-var", "nope"}); err == nil {
+		t.Error("unknown remote variable accepted")
+	}
+	if err := cmdQuery([]string{"-remote", addr}); err == nil {
+		t.Error("missing -var accepted")
+	}
+	if err := cmdQuery([]string{"-remote", "127.0.0.1:1", "-var", "phi"}); err == nil {
+		t.Error("unreachable server produced no error")
+	}
+}
+
+func TestCmdStatsRemote(t *testing.T) {
+	ts := startTestDaemon(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	if err := cmdStats([]string{"-remote", addr}); err != nil {
+		t.Fatalf("cmdStats: %v", err)
+	}
+	if err := cmdStats([]string{}); err == nil {
+		t.Error("missing -remote accepted")
+	}
+}
+
+func TestRemoteShapeLookup(t *testing.T) {
+	ts := startTestDaemon(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	client, err := newRemoteClient(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape, err := client.remoteShape("phi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shape) != 2 || shape[0] != 32 {
+		t.Errorf("remoteShape = %v, want [32 32]", shape)
+	}
+	if _, err := client.remoteShape("ghost"); err == nil {
+		t.Error("remoteShape for unknown variable returned no error")
+	}
+}

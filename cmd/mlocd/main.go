@@ -1,0 +1,302 @@
+// Command mlocd is the MLOC query-service daemon: it builds (or
+// ingests) variable stores on the simulated PFS, then serves
+// concurrent query traffic over HTTP/JSON with admission control,
+// cooperative cancellation, and a shared decoded-unit cache.
+//
+// Usage:
+//
+//	mlocd -addr 127.0.0.1:8080 -store phi=gts:512 -store chi=s3d:64:2
+//	mlocd -store t=file:temps.f64:1024x1024 -cache-mb 128
+//
+// Store specs take the form name=source, where source is one of
+//
+//	gts:SIDE[:SEED]        synthetic 2-D GTS-like field
+//	s3d:SIDE[:SEED]        synthetic 3-D S3D-like field
+//	file:PATH:SHAPE        raw little-endian float64 file (mlocctl gen)
+//
+// Endpoints:
+//
+//	POST /query    {"var":..., "vc":{"min":..,"max":..}, "sc":{"lo":[..],"hi":[..]}, "plod":N, "ranks":N, "index_only":bool}
+//	GET  /stats    flat JSON counters (admission, outcomes, cache)
+//	GET  /vars     served variables with shapes
+//	GET  /healthz  readiness (503 while draining)
+//
+// On SIGINT/SIGTERM the daemon stops admitting queries (503 +
+// Retry-After), drains in-flight ones up to -drain-timeout, then exits.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"mloc/internal/cache"
+	"mloc/internal/core"
+	"mloc/internal/datagen"
+	"mloc/internal/grid"
+	"mloc/internal/pfs"
+	"mloc/internal/server"
+)
+
+// storeSpecs collects repeatable -store flags.
+type storeSpecs []string
+
+func (s *storeSpecs) String() string { return strings.Join(*s, ",") }
+func (s *storeSpecs) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "mlocd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mlocd", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	var specs storeSpecs
+	fs.Var(&specs, "store", "variable store spec name=gts:SIDE[:SEED] | name=s3d:SIDE[:SEED] | name=file:PATH:SHAPE (repeatable)")
+	chunkStr := fs.String("chunk", "", "chunk size, e.g. 64x64 (default side/16 per dim)")
+	bins := fs.Int("bins", 100, "equal-frequency bins per store")
+	mode := fs.String("mode", "col", "MLOC variant: col | iso | isa")
+	orderStr := fs.String("order", "V-M-S", "level order: V-M-S or V-S-M")
+	ranks := fs.Int("ranks", 4, "default parallel ranks per query")
+	maxConcurrent := fs.Int("max-concurrent", 8, "max simultaneously executing queries")
+	maxQueue := fs.Int("max-queue", 0, "max queued queries (default 2x max-concurrent)")
+	queueWait := fs.Duration("queue-wait", 2*time.Second, "longest a query waits for a slot")
+	cacheMB := fs.Int("cache-mb", 64, "shared decode cache size in MiB (0 disables)")
+	maxMatches := fs.Int("max-matches", 65536, "matches returned per response")
+	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight queries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("at least one -store spec is required")
+	}
+
+	cfgTemplate, err := storeConfig(*mode, *chunkStr, *bins, *orderStr)
+	if err != nil {
+		return err
+	}
+	sim := pfs.New(pfs.DefaultConfig())
+	stores, err := buildStores(sim, specs, cfgTemplate)
+	if err != nil {
+		return err
+	}
+	for name, st := range stores {
+		fmt.Printf("mlocd: built store %q: shape %s, %d bins, %.2f MB on PFS\n",
+			name, st.Shape(), st.NumBins(), float64(st.TotalBytes())/1e6)
+	}
+
+	var c *cache.Cache
+	if *cacheMB > 0 {
+		c, err = cache.New(int64(*cacheMB) << 20)
+		if err != nil {
+			return err
+		}
+	}
+	svc, err := server.New(server.Config{
+		Stores:        stores,
+		Cache:         c,
+		MaxConcurrent: *maxConcurrent,
+		MaxQueue:      *maxQueue,
+		QueueWait:     *queueWait,
+		DefaultRanks:  *ranks,
+		MaxMatches:    *maxMatches,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	fmt.Printf("mlocd: listening on %s\n", ln.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	// The server loop must not block signal handling; this is daemon
+	// plumbing, not data parallelism.
+	go func() { errc <- httpSrv.Serve(ln) }() //mlocvet:ignore spmd-goroutine
+
+	select {
+	case sig := <-sigc:
+		fmt.Printf("mlocd: %v received, draining (budget %s)\n", sig, *drainTimeout)
+		svc.SetDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		fmt.Println("mlocd: drained, bye")
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
+
+// storeConfig assembles the shared core.Config template from CLI flags.
+func storeConfig(mode, chunkStr string, bins int, orderStr string) (core.Config, error) {
+	var cfg core.Config
+	// The chunk size is resolved per store (it depends on the shape);
+	// the template records the other knobs.
+	switch mode {
+	case "col":
+		cfg = core.DefaultConfig([]int{1})
+	case "iso":
+		cfg = core.ISOConfig([]int{1})
+	case "isa":
+		cfg = core.ISAConfig([]int{1})
+	default:
+		return cfg, fmt.Errorf("unknown mode %q (want col, iso, or isa)", mode)
+	}
+	cfg.NumBins = bins
+	order, err := core.ParseOrder(orderStr)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Order = order
+	if chunkStr != "" {
+		chunk, err := parseShape(chunkStr)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.ChunkSize = chunk
+	} else {
+		cfg.ChunkSize = nil // resolved per store from its shape
+	}
+	return cfg, nil
+}
+
+// buildStores materializes every -store spec onto the PFS.
+func buildStores(sim *pfs.Sim, specs []string, template core.Config) (map[string]*core.Store, error) {
+	stores := make(map[string]*core.Store, len(specs))
+	for _, spec := range specs {
+		name, data, shape, err := loadSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := stores[name]; dup {
+			return nil, fmt.Errorf("duplicate store name %q", name)
+		}
+		cfg := template
+		if cfg.ChunkSize == nil {
+			cfg.ChunkSize = defaultChunk(shape)
+		}
+		st, err := core.Build(sim, sim.NewClock(), "mlocd/"+name, shape, data, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("building %q: %w", name, err)
+		}
+		stores[name] = st
+	}
+	return stores, nil
+}
+
+// loadSpec parses one name=source spec and loads its data.
+func loadSpec(spec string) (name string, data []float64, shape grid.Shape, err error) {
+	name, source, ok := strings.Cut(spec, "=")
+	if !ok || name == "" {
+		return "", nil, nil, fmt.Errorf("bad -store %q (want name=source)", spec)
+	}
+	kind, rest, _ := strings.Cut(source, ":")
+	switch kind {
+	case "gts", "s3d":
+		side, seed, perr := parseSideSeed(rest)
+		if perr != nil {
+			return "", nil, nil, fmt.Errorf("bad -store %q: %w", spec, perr)
+		}
+		var ds *datagen.Dataset
+		if kind == "gts" {
+			ds = datagen.GTSLike(side, side, seed)
+		} else {
+			ds = datagen.S3DLike(side, seed)
+		}
+		return name, ds.Vars[0].Data, ds.Shape, nil
+	case "file":
+		path, shapeStr, ok := strings.Cut(rest, ":")
+		if !ok {
+			return "", nil, nil, fmt.Errorf("bad -store %q (want name=file:PATH:SHAPE)", spec)
+		}
+		shape, err = parseShape(shapeStr)
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("bad -store %q: %w", spec, err)
+		}
+		raw, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return "", nil, nil, rerr
+		}
+		if int64(len(raw)) != 8*shape.Elems() {
+			return "", nil, nil, fmt.Errorf("%s has %d bytes, shape %s needs %d",
+				path, len(raw), shape, 8*shape.Elems())
+		}
+		data = make([]float64, shape.Elems())
+		for i := range data {
+			data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		}
+		return name, data, shape, nil
+	default:
+		return "", nil, nil, fmt.Errorf("bad -store %q: unknown source %q (want gts, s3d, or file)", spec, kind)
+	}
+}
+
+// parseSideSeed parses "SIDE" or "SIDE:SEED".
+func parseSideSeed(s string) (side int, seed int64, err error) {
+	sideStr, seedStr, hasSeed := strings.Cut(s, ":")
+	side, err = strconv.Atoi(sideStr)
+	if err != nil || side < 1 {
+		return 0, 0, fmt.Errorf("bad side %q", sideStr)
+	}
+	seed = 1
+	if hasSeed {
+		seed, err = strconv.ParseInt(seedStr, 10, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad seed %q", seedStr)
+		}
+	}
+	return side, seed, nil
+}
+
+// defaultChunk mirrors mlocctl's side/16 heuristic.
+func defaultChunk(shape grid.Shape) []int {
+	chunk := make([]int, shape.Dims())
+	for d := range chunk {
+		chunk[d] = shape[d] / 16
+		if chunk[d] < 1 {
+			chunk[d] = 1
+		}
+	}
+	return chunk
+}
+
+// parseShape parses "64x64"-style dimension lists.
+func parseShape(s string) (grid.Shape, error) {
+	parts := strings.FieldsFunc(s, func(r rune) bool { return r == 'x' || r == 'X' || r == ',' })
+	shape := make(grid.Shape, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad shape component %q", p)
+		}
+		shape = append(shape, n)
+	}
+	if err := shape.Validate(); err != nil {
+		return nil, err
+	}
+	return shape, nil
+}

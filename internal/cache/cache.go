@@ -1,0 +1,301 @@
+// Package cache implements the shared decoded-unit cache of the query
+// service: a sharded, byte-bounded LRU keyed by (store, bin, unit, PLoD
+// level) with single-flight deduplication, so concurrent queries that
+// touch the same storage unit decompress it once and later queries skip
+// the decode entirely.
+//
+// The cache stores reconstructed float64 unit values. Entries are
+// immutable after insertion: callers must treat returned slices as
+// read-only (the query engine only reads them). All methods are safe
+// for concurrent use.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one decoded storage unit: the owning store (its PFS
+// prefix doubles as the variable identity), the bin and unit position
+// within the store's catalog, and the PLoD level the values were
+// reconstructed at (different levels yield different values and must
+// not alias).
+type Key struct {
+	// Store is the owning store's identity (PFS path prefix).
+	Store string
+	// Bin is the bin index within the store.
+	Bin int
+	// Unit is the unit position within the bin.
+	Unit int
+	// Level is the PLoD reconstruction level (plod.MaxLevel for full
+	// precision and for floats-mode stores).
+	Level int
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups answered from a resident entry (including
+	// single-flight waiters that reused another query's decode).
+	Hits int64
+	// Misses counts lookups that had to compute.
+	Misses int64
+	// Evictions counts entries pushed out by the byte bound.
+	Evictions int64
+	// Waits counts single-flight waiters that blocked on another
+	// caller's in-progress compute instead of decoding themselves.
+	Waits int64
+	// Entries is the current resident entry count.
+	Entries int
+	// Bytes is the current resident cost in bytes.
+	Bytes int64
+	// Capacity is the configured byte bound.
+	Capacity int64
+}
+
+// numShards is the fixed shard count; 16 keeps lock contention low for
+// any plausible rank/query parallelism without oversizing the struct.
+const numShards = 16
+
+// entryOverhead approximates the per-entry bookkeeping cost in bytes
+// (map slot, list element, header) charged on top of the values.
+const entryOverhead = 64
+
+// Cache is a sharded LRU over decoded units. Create with New.
+type Cache struct {
+	shards   [numShards]shard
+	capacity int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	waits     atomic.Int64
+}
+
+type shard struct {
+	mu       sync.Mutex
+	max      int64
+	bytes    int64
+	lru      *list.List // front = most recently used; Value is *entry
+	entries  map[Key]*list.Element
+	inflight map[Key]*flight
+}
+
+type entry struct {
+	key  Key
+	vals []float64
+	cost int64
+}
+
+// flight is one in-progress compute; waiters block on done.
+type flight struct {
+	done chan struct{}
+	vals []float64
+	err  error
+}
+
+// New returns a cache bounded to roughly maxBytes of decoded values
+// (the bound is split evenly across shards).
+func New(maxBytes int64) (*Cache, error) {
+	if maxBytes < 1 {
+		return nil, fmt.Errorf("cache: capacity %d must be positive", maxBytes)
+	}
+	c := &Cache{capacity: maxBytes}
+	per := maxBytes / numShards
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = shard{
+			max:      per,
+			lru:      list.New(),
+			entries:  make(map[Key]*list.Element),
+			inflight: make(map[Key]*flight),
+		}
+	}
+	return c, nil
+}
+
+// shardFor hashes the key to a shard (FNV-1a over the key fields).
+func (c *Cache) shardFor(k Key) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k.Store); i++ {
+		h ^= uint64(k.Store[i])
+		h *= 1099511628211
+	}
+	for _, v := range [...]int{k.Bin, k.Unit, k.Level} {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	return &c.shards[h%numShards]
+}
+
+// Get returns the cached values for key, or ok=false on a miss. A miss
+// from Get is not counted against the Misses statistic (probes that
+// precede a batched read would double-count otherwise); only
+// GetOrCompute records misses.
+func (c *Cache) Get(key Key) (vals []float64, ok bool) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
+	if ok {
+		sh.lru.MoveToFront(el)
+		vals = el.Value.(*entry).vals
+	}
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	}
+	return vals, ok
+}
+
+// GetOrCompute returns the cached values for key, computing and
+// inserting them on a miss. Concurrent callers for the same key are
+// deduplicated: one runs compute, the rest wait for its result (or
+// abandon the wait when ctx is done — the leader's compute is not
+// interrupted). hit reports whether the caller avoided running compute
+// itself, i.e. the values came from the cache or from another caller's
+// flight.
+func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() ([]float64, error)) (vals []float64, hit bool, err error) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok {
+		sh.lru.MoveToFront(el)
+		vals = el.Value.(*entry).vals
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return vals, true, nil
+	}
+	if fl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		c.waits.Add(1)
+		select {
+		case <-fl.done:
+			if fl.err != nil {
+				return nil, false, fl.err
+			}
+			c.hits.Add(1)
+			return fl.vals, true, nil
+		case <-ctx.Done():
+			return nil, false, fmt.Errorf("cache: waiting for %v/%d/%d@%d: %w",
+				key.Store, key.Bin, key.Unit, key.Level, ctx.Err())
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.inflight[key] = fl
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	// The flight must resolve even if compute panics, or waiters would
+	// block forever; the panic is re-raised after cleanup.
+	completed := false
+	defer func() {
+		if !completed {
+			fl.err = fmt.Errorf("cache: compute for %v/%d/%d@%d panicked",
+				key.Store, key.Bin, key.Unit, key.Level)
+			sh.mu.Lock()
+			delete(sh.inflight, key)
+			sh.mu.Unlock()
+			close(fl.done)
+		}
+	}()
+	vals, err = compute()
+	completed = true
+	fl.vals, fl.err = vals, err
+
+	sh.mu.Lock()
+	delete(sh.inflight, key)
+	if err == nil {
+		c.insertLocked(sh, key, vals)
+	}
+	sh.mu.Unlock()
+	close(fl.done)
+	if err != nil {
+		return nil, false, err
+	}
+	return vals, false, nil
+}
+
+// Put inserts values for key, replacing any resident entry.
+func (c *Cache) Put(key Key, vals []float64) {
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	c.insertLocked(sh, key, vals)
+	sh.mu.Unlock()
+}
+
+// insertLocked adds (or refreshes) an entry and evicts from the LRU
+// tail until the shard fits its bound. Entries larger than the whole
+// shard are not admitted (they would evict everything for one use).
+// Caller holds sh.mu.
+func (c *Cache) insertLocked(sh *shard, key Key, vals []float64) {
+	cost := int64(len(vals))*8 + entryOverhead
+	if cost > sh.max {
+		return
+	}
+	if el, ok := sh.entries[key]; ok {
+		old := el.Value.(*entry)
+		sh.bytes += cost - old.cost
+		old.vals, old.cost = vals, cost
+		sh.lru.MoveToFront(el)
+	} else {
+		sh.entries[key] = sh.lru.PushFront(&entry{key: key, vals: vals, cost: cost})
+		sh.bytes += cost
+	}
+	for sh.bytes > sh.max {
+		tail := sh.lru.Back()
+		if tail == nil {
+			break
+		}
+		ev := tail.Value.(*entry)
+		sh.lru.Remove(tail)
+		delete(sh.entries, ev.key)
+		sh.bytes -= ev.cost
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Bytes returns the resident cost in bytes.
+func (c *Cache) Bytes() int64 {
+	var b int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		b += sh.bytes
+		sh.mu.Unlock()
+	}
+	return b
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Waits:     c.waits.Load(),
+		Capacity:  c.capacity,
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += len(sh.entries)
+		s.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return s
+}

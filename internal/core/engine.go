@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"mloc/internal/cache"
 	"mloc/internal/grid"
 	"mloc/internal/mpi"
 	"mloc/internal/pfs"
@@ -26,23 +28,36 @@ type task struct {
 
 // rankOut accumulates one rank's results.
 type rankOut struct {
-	matches []query.Match
-	time    query.Components
-	bytes   int64
-	blocks  int
+	matches   []query.Match
+	time      query.Components
+	bytes     int64
+	blocks    int
+	cacheHits int
 }
 
 // Query executes a request over the given number of parallel ranks,
 // following the paper's §III-D workflow: bin selection by VC bounds,
 // chunk selection by SC mapped through the storage curve, column-order
 // block assignment, per-rank fetch/decompress/filter, and a final
-// gather.
+// gather. It is QueryContext with a background context.
 func (s *Store) Query(req *query.Request, ranks int) (*query.Result, error) {
+	return s.QueryContext(context.Background(), req, ranks)
+}
+
+// QueryContext is Query under a context: when ctx is canceled or its
+// deadline expires, ranks stop issuing PFS reads at the next bin
+// boundary and the query returns an error wrapping ctx.Err() promptly,
+// so a disconnected caller frees its serving slot instead of running
+// the access to completion.
+func (s *Store) QueryContext(ctx context.Context, req *query.Request, ranks int) (*query.Result, error) {
 	if err := req.Validate(s.meta.shape); err != nil {
 		return nil, err
 	}
 	if ranks < 1 {
 		return nil, fmt.Errorf("core: ranks %d < 1", ranks)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: query canceled: %w", err)
 	}
 	level := req.PLoDLevel
 	if level == 0 {
@@ -59,7 +74,7 @@ func (s *Store) Query(req *query.Request, ranks int) (*query.Result, error) {
 	outs := make([]rankOut, ranks)
 	clks := s.fs.NewClocks(ranks)
 	err := mpi.Run(ranks, func(c *mpi.Comm) error {
-		return s.runRank(clks[c.Rank()], perRank[c.Rank()], req, level, &outs[c.Rank()])
+		return s.runRank(ctx, clks[c.Rank()], perRank[c.Rank()], req, level, &outs[c.Rank()])
 	})
 	if err != nil {
 		return nil, err
@@ -71,6 +86,7 @@ func (s *Store) Query(req *query.Request, ranks int) (*query.Result, error) {
 		res.Matches = append(res.Matches, outs[i].matches...)
 		res.BytesRead += outs[i].bytes
 		res.BlocksRead += outs[i].blocks
+		res.CacheHits += outs[i].cacheHits
 		if t := outs[i].time.Total(); t >= slowest {
 			slowest = t
 			res.Time = outs[i].time
@@ -164,14 +180,19 @@ func (s *Store) assignTasks(tasks []task, ranks int) [][]task {
 }
 
 // runRank executes one rank's tasks, grouped by bin so each bin's files
-// are opened once and reads coalesce.
-func (s *Store) runRank(clk *pfs.Clock, tasks []task, req *query.Request, level int, out *rankOut) error {
+// are opened once and reads coalesce. Cancellation is checked at every
+// bin boundary: a bin is the engine's unit of I/O, so that is the
+// soonest point at which stopping saves PFS work.
+func (s *Store) runRank(ctx context.Context, clk *pfs.Clock, tasks []task, req *query.Request, level int, out *rankOut) error {
 	for lo := 0; lo < len(tasks); {
 		hi := lo + 1
 		for hi < len(tasks) && tasks[hi].bin == tasks[lo].bin {
 			hi++
 		}
-		if err := s.processBin(clk, tasks[lo:hi], req, level, out); err != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: query canceled before bin %d: %w", tasks[lo].bin, err)
+		}
+		if err := s.processBin(ctx, clk, tasks[lo:hi], req, level, out); err != nil {
 			return err
 		}
 		lo = hi
@@ -182,20 +203,45 @@ func (s *Store) runRank(clk *pfs.Clock, tasks []task, req *query.Request, level 
 // extent is a byte range in a file.
 type extent struct{ off, length int64 }
 
-// processBin handles one rank's tasks within a single bin.
-func (s *Store) processBin(clk *pfs.Clock, tasks []task, req *query.Request, level int, out *rankOut) error {
+// processBin handles one rank's tasks within a single bin. When a
+// decode cache is attached, resident units are probed up front so their
+// data extents are never read, and misses are decoded through the
+// cache's single-flight path so concurrent queries decompress each unit
+// once.
+func (s *Store) processBin(ctx context.Context, clk *pfs.Clock, tasks []task, req *query.Request, level int, out *rankOut) error {
 	bin := tasks[0].bin
+	if s.hookBeforeBin != nil {
+		s.hookBeforeBin(bin)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: query canceled at bin %d: %w", bin, err)
+	}
 	bm := &s.meta.bins[bin]
 	idxPath := binIndexPath(s.prefix, bin)
 	dataPath := binDataPath(s.prefix, bin)
 
+	// Cache probe: units already resident need neither a data read nor
+	// a decode. cached is aligned with tasks (nil = miss or no cache).
+	var cached [][]float64
+	if s.decodeCache != nil {
+		cached = make([][]float64, len(tasks))
+		for i, t := range tasks {
+			if !t.needData {
+				continue
+			}
+			if vals, ok := s.decodeCache.Get(s.cacheKey(bin, t.unit, level)); ok {
+				cached[i] = vals
+			}
+		}
+	}
+
 	// Index extents: every task needs its positional index.
 	idxExtents := make([]extent, 0, len(tasks))
 	needAnyData := false
-	for _, t := range tasks {
+	for i, t := range tasks {
 		u := &bm.units[t.unit]
 		idxExtents = append(idxExtents, extent{u.indexOff, u.indexLen})
-		if t.needData {
+		if t.needData && (cached == nil || cached[i] == nil) {
 			needAnyData = true
 		}
 	}
@@ -209,7 +255,7 @@ func (s *Store) processBin(clk *pfs.Clock, tasks []task, req *query.Request, lev
 	}
 	out.bytes += ioBytes
 
-	// Data extents for the required pieces.
+	// Data extents for the required pieces of cache-missed units.
 	nPlanes := plod.PlanesForLevel(level)
 	var dataMap *extentMap
 	if needAnyData {
@@ -217,8 +263,8 @@ func (s *Store) processBin(clk *pfs.Clock, tasks []task, req *query.Request, lev
 			return err
 		}
 		var dataExtents []extent
-		for _, t := range tasks {
-			if !t.needData {
+		for i, t := range tasks {
+			if !t.needData || (cached != nil && cached[i] != nil) {
 				continue
 			}
 			u := &bm.units[t.unit]
@@ -239,18 +285,66 @@ func (s *Store) processBin(clk *pfs.Clock, tasks []task, req *query.Request, lev
 	out.time.IO += clk.Now() - t0
 
 	// Decode and emit.
-	for _, t := range tasks {
+	for i, t := range tasks {
 		u := &bm.units[t.unit]
-		if err := s.emitUnit(clk, t, u, req, level, idxMap, dataMap, out); err != nil {
+		var hit []float64
+		if cached != nil {
+			hit = cached[i]
+		}
+		if err := s.emitUnit(ctx, clk, t, u, req, level, idxMap, dataMap, hit, out); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// cacheKey builds the decode-cache key for one unit of this store.
+func (s *Store) cacheKey(bin, unit, level int) cache.Key {
+	return cache.Key{Store: s.prefix, Bin: bin, Unit: unit, Level: level}
+}
+
+// unitValues resolves a unit's decoded values: from the probe result,
+// through the decode cache's single-flight path, or by decoding
+// directly when no cache is attached. It updates the rank's decompress
+// time, block count, and cache-hit count.
+func (s *Store) unitValues(ctx context.Context, clk *pfs.Clock, t task, u *unitMeta, level int, dataMap *extentMap, cachedVals []float64, out *rankOut) ([]float64, error) {
+	if cachedVals != nil {
+		out.cacheHits++
+		return cachedVals, nil
+	}
+	if s.decodeCache == nil {
+		values, decompress, err := s.decodeUnitValues(clk, u, level, dataMap)
+		if err != nil {
+			return nil, err
+		}
+		out.time.Decompress += decompress
+		out.blocks++
+		return values, nil
+	}
+	var decompress float64
+	values, hit, err := s.decodeCache.GetOrCompute(ctx, s.cacheKey(t.bin, t.unit, level), func() ([]float64, error) {
+		v, d, derr := s.decodeUnitValues(clk, u, level, dataMap)
+		decompress = d
+		return v, derr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		// Another query's decode (or an insert racing the probe) served
+		// this unit; the data bytes were read but no CPU was spent.
+		out.cacheHits++
+	} else {
+		out.time.Decompress += decompress
+		out.blocks++
+	}
+	return values, nil
+}
+
 // emitUnit decodes one unit's index (and data when needed) and appends
-// the qualifying matches.
-func (s *Store) emitUnit(clk *pfs.Clock, t task, u *unitMeta, req *query.Request, level int, idxMap, dataMap *extentMap, out *rankOut) error {
+// the qualifying matches. cachedVals carries the unit's decoded values
+// when the bin-level cache probe hit (nil otherwise).
+func (s *Store) emitUnit(ctx context.Context, clk *pfs.Clock, t task, u *unitMeta, req *query.Request, level int, idxMap, dataMap *extentMap, cachedVals []float64, out *rankOut) error {
 	idxRaw, err := idxMap.slice(u.indexOff, u.indexLen)
 	if err != nil {
 		return fmt.Errorf("core: bin %d unit %d index: %w", t.bin, t.unit, err)
@@ -264,13 +358,11 @@ func (s *Store) emitUnit(clk *pfs.Clock, t task, u *unitMeta, req *query.Request
 	}
 
 	var values []float64
-	var decompress float64
 	if t.needData {
-		values, decompress, err = s.decodeUnitValues(clk, u, level, dataMap)
+		values, err = s.unitValues(ctx, clk, t, u, level, dataMap, cachedVals, out)
 		if err != nil {
 			return fmt.Errorf("core: bin %d unit %d data: %w", t.bin, t.unit, err)
 		}
-		out.blocks++
 	}
 
 	// Map intra-chunk offsets to global indices and filter. The chunk's
@@ -324,7 +416,6 @@ func (s *Store) emitUnit(clk *pfs.Clock, t task, u *unitMeta, req *query.Request
 		}
 	})
 
-	out.time.Decompress += decompress
 	out.time.Reconstruct += reconstruct
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mloc/internal/bitmap"
@@ -43,8 +44,16 @@ type MultiVarResult struct {
 // light-weight bitmap index exchange); phase 2 retrieves each fetch
 // variable's values at those positions.
 //
-// All stores must share one grid shape.
+// All stores must share one grid shape. It is MultiVarQueryContext
+// with a background context.
 func MultiVarQuery(stores map[string]*Store, selectVar string, req MultiVarRequest, ranks int) (*MultiVarResult, error) {
+	return MultiVarQueryContext(context.Background(), stores, selectVar, req, ranks)
+}
+
+// MultiVarQueryContext is MultiVarQuery under a context: cancellation
+// propagates into both the selection query and every per-variable
+// fetch.
+func MultiVarQueryContext(ctx context.Context, stores map[string]*Store, selectVar string, req MultiVarRequest, ranks int) (*MultiVarResult, error) {
 	sel, ok := stores[selectVar]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown selecting variable %q", selectVar)
@@ -65,7 +74,7 @@ func MultiVarQuery(stores map[string]*Store, selectVar string, req MultiVarReque
 	// derived by region queries from all processes are synchronized").
 	phase1 := req.Select
 	phase1.IndexOnly = true
-	selRes, err := sel.Query(&phase1, ranks)
+	selRes, err := sel.QueryContext(ctx, &phase1, ranks)
 	if err != nil {
 		return nil, fmt.Errorf("core: selection on %q: %w", selectVar, err)
 	}
@@ -88,7 +97,7 @@ func MultiVarQuery(stores map[string]*Store, selectVar string, req MultiVarReque
 	// the first step can be directly used on other variables").
 	var fetchSlowest query.Components
 	for _, fv := range req.FetchVars {
-		fRes, err := stores[fv].FetchAt(positions, ranks)
+		fRes, err := stores[fv].FetchAtContext(ctx, positions, ranks)
 		if err != nil {
 			return nil, fmt.Errorf("core: fetch of %q: %w", fv, err)
 		}
@@ -104,12 +113,22 @@ func MultiVarQuery(stores map[string]*Store, selectVar string, req MultiVarReque
 
 // FetchAt retrieves the variable's values at the positions set in the
 // bitmap, reading only the storage units that contain selected points.
+// It is FetchAtContext with a background context.
 func (s *Store) FetchAt(positions *bitmap.Bitmap, ranks int) (*query.Result, error) {
+	return s.FetchAtContext(context.Background(), positions, ranks)
+}
+
+// FetchAtContext is FetchAt under a context; cancellation is honored at
+// every bin boundary, mirroring QueryContext.
+func (s *Store) FetchAtContext(ctx context.Context, positions *bitmap.Bitmap, ranks int) (*query.Result, error) {
 	if positions.Len() != s.meta.shape.Elems() {
 		return nil, fmt.Errorf("core: bitmap length %d != grid %d", positions.Len(), s.meta.shape.Elems())
 	}
 	if ranks < 1 {
 		return nil, fmt.Errorf("core: ranks %d < 1", ranks)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: fetch canceled: %w", err)
 	}
 
 	// Determine the chunks containing selected positions.
@@ -137,7 +156,7 @@ func (s *Store) FetchAt(positions *bitmap.Bitmap, ranks int) (*query.Result, err
 	outs := make([]rankOut, ranks)
 	clks := s.fs.NewClocks(ranks)
 	err := mpi.Run(ranks, func(c *mpi.Comm) error {
-		return s.fetchRank(clks[c.Rank()], perRank[c.Rank()], positions, &outs[c.Rank()])
+		return s.fetchRank(ctx, clks[c.Rank()], perRank[c.Rank()], positions, &outs[c.Rank()])
 	})
 	if err != nil {
 		return nil, err
@@ -148,6 +167,7 @@ func (s *Store) FetchAt(positions *bitmap.Bitmap, ranks int) (*query.Result, err
 		res.Matches = append(res.Matches, outs[i].matches...)
 		res.BytesRead += outs[i].bytes
 		res.BlocksRead += outs[i].blocks
+		res.CacheHits += outs[i].cacheHits
 		if t := outs[i].time.Total(); t >= slowest {
 			slowest = t
 			res.Time = outs[i].time
@@ -159,8 +179,9 @@ func (s *Store) FetchAt(positions *bitmap.Bitmap, ranks int) (*query.Result, err
 
 // fetchRank processes a rank's fetch tasks: per bin, read the unit
 // indices first, and only read data for units that actually contain
-// selected positions.
-func (s *Store) fetchRank(clk *pfs.Clock, tasks []task, positions *bitmap.Bitmap, out *rankOut) error {
+// selected positions (and, with a decode cache attached, are not
+// already resident).
+func (s *Store) fetchRank(ctx context.Context, clk *pfs.Clock, tasks []task, positions *bitmap.Bitmap, out *rankOut) error {
 	dims := s.meta.shape.Dims()
 	local := make([]int, dims)
 	global := make([]int, dims)
@@ -173,6 +194,12 @@ func (s *Store) fetchRank(clk *pfs.Clock, tasks []task, positions *bitmap.Bitmap
 		lo = hi
 
 		bin := binTasks[0].bin
+		if s.hookBeforeBin != nil {
+			s.hookBeforeBin(bin)
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: fetch canceled at bin %d: %w", bin, err)
+		}
 		bm := &s.meta.bins[bin]
 		idxPath := binIndexPath(s.prefix, bin)
 		dataPath := binDataPath(s.prefix, bin)
@@ -239,37 +266,58 @@ func (s *Store) fetchRank(clk *pfs.Clock, tasks []task, positions *bitmap.Bitmap
 			continue
 		}
 
-		// Read and decode data only for hit units.
-		t1 := clk.Now()
-		if err := s.fs.Open(clk, dataPath); err != nil {
-			return err
-		}
-		var dataExtents []extent
-		for _, h := range hits {
-			u := &bm.units[h.t.unit]
-			if s.meta.mode == ModePlanes {
-				for p := 0; p < plod.NumPlanes; p++ {
-					dataExtents = append(dataExtents, extent{u.pieceOff[p], u.pieceLen[p]})
+		// Probe the decode cache: resident units need no data read.
+		cached := make([][]float64, len(hits))
+		missing := 0
+		if s.decodeCache != nil {
+			for i, h := range hits {
+				if vals, ok := s.decodeCache.Get(s.cacheKey(bin, h.t.unit, plod.MaxLevel)); ok {
+					cached[i] = vals
+				} else {
+					missing++
 				}
-			} else {
-				dataExtents = append(dataExtents, extent{u.pieceOff[0], u.pieceLen[0]})
 			}
+		} else {
+			missing = len(hits)
 		}
-		dataMap, ioBytes, err := readCoalesced(s.fs, clk, dataPath, dataExtents)
-		if err != nil {
-			return err
-		}
-		out.bytes += ioBytes
-		out.time.IO += clk.Now() - t1
 
-		for _, h := range hits {
-			u := &bm.units[h.t.unit]
-			values, decompress, err := s.decodeUnitValues(clk, u, plod.MaxLevel, dataMap)
+		// Read data only for hit units the cache could not serve.
+		var dataMap *extentMap
+		if missing > 0 {
+			t1 := clk.Now()
+			if err := s.fs.Open(clk, dataPath); err != nil {
+				return err
+			}
+			var dataExtents []extent
+			for i, h := range hits {
+				if cached[i] != nil {
+					continue
+				}
+				u := &bm.units[h.t.unit]
+				if s.meta.mode == ModePlanes {
+					for p := 0; p < plod.NumPlanes; p++ {
+						dataExtents = append(dataExtents, extent{u.pieceOff[p], u.pieceLen[p]})
+					}
+				} else {
+					dataExtents = append(dataExtents, extent{u.pieceOff[0], u.pieceLen[0]})
+				}
+			}
+			var ioBytes int64
+			var err error
+			dataMap, ioBytes, err = readCoalesced(s.fs, clk, dataPath, dataExtents)
 			if err != nil {
 				return err
 			}
-			out.blocks++
-			out.time.Decompress += decompress
+			out.bytes += ioBytes
+			out.time.IO += clk.Now() - t1
+		}
+
+		for i, h := range hits {
+			u := &bm.units[h.t.unit]
+			values, err := s.unitValues(ctx, clk, h.t, u, plod.MaxLevel, dataMap, cached[i], out)
+			if err != nil {
+				return err
+			}
 			reg := s.chunks.ChunkRegionByID(u.chunkID)
 			out.time.Reconstruct += clk.MeasureCPU(func() {
 				for _, i := range h.hits {

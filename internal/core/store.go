@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mloc/internal/binning"
+	"mloc/internal/cache"
 	"mloc/internal/compress"
 	"mloc/internal/grid"
 	"mloc/internal/pfs"
@@ -23,6 +24,13 @@ type Store struct {
 	byteCodec  compress.ByteCodec
 	floatCodec compress.FloatCodec
 	assignment Assignment
+	// decodeCache, when set, shares decoded unit values across queries
+	// (and across stores, keyed by prefix). Set via SetDecodeCache.
+	decodeCache *cache.Cache
+	// hookBeforeBin is a test seam invoked before each bin a rank
+	// processes; it lets tests cancel a context mid-query
+	// deterministically. Nil outside tests.
+	hookBeforeBin func(bin int)
 }
 
 // newStore assembles the runtime view over metadata.
@@ -98,6 +106,17 @@ func (s *Store) Order() Order { return s.meta.order }
 
 // Mode returns the storage mode.
 func (s *Store) Mode() Mode { return s.meta.mode }
+
+// SetDecodeCache attaches a shared decoded-unit cache: data reads and
+// decompression are skipped for units whose values are resident, and
+// concurrent decodes of the same unit are deduplicated. Pass nil to
+// detach. Not safe to call concurrently with running queries (attach
+// the cache before serving).
+func (s *Store) SetDecodeCache(c *cache.Cache) { s.decodeCache = c }
+
+// Prefix returns the store's PFS path prefix (its identity in the
+// shared decode cache).
+func (s *Store) Prefix() string { return s.prefix }
 
 // SetAssignment overrides the block-to-rank assignment policy (used by
 // the assignment ablation).

@@ -17,6 +17,8 @@
 //     bare call statement
 //   - exporteddoc: exported identifiers in library packages need doc
 //     comments
+//   - ctxfirst: exported functions accepting a context.Context must
+//     take it as their first parameter
 //
 // The package deliberately depends only on the standard library
 // (go/ast, go/parser, go/token, go/types) so the module keeps its
@@ -85,6 +87,7 @@ func All() []*Analyzer {
 		CommEscape,
 		UncheckedErr,
 		ExportedDoc,
+		CtxFirst,
 	}
 }
 

@@ -98,6 +98,7 @@ func TestAnalyzersGolden(t *testing.T) {
 		{CommEscape, "commescape"},
 		{UncheckedErr, "uncheckederr"},
 		{ExportedDoc, "exporteddoc"},
+		{CtxFirst, "ctxfirst"},
 	}
 	for _, tc := range cases {
 		name := tc.analyzer.Name + "/" + strings.ReplaceAll(tc.fixture, "/", "_")
@@ -117,6 +118,7 @@ func TestGoldenTruePositives(t *testing.T) {
 		CommEscape.Name:    "commescape",
 		UncheckedErr.Name:  "uncheckederr",
 		ExportedDoc.Name:   "exporteddoc",
+		CtxFirst.Name:      "ctxfirst",
 	}
 	if len(fixtures) != len(All()) {
 		t.Fatalf("fixture map covers %d analyzers, suite has %d", len(fixtures), len(All()))

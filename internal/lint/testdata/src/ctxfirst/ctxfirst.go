@@ -1,0 +1,60 @@
+// Package ctxfirst is the golden fixture for the ctxfirst analyzer.
+package ctxfirst
+
+import "context"
+
+// Good takes its context first: no finding.
+func Good(ctx context.Context, n int) error {
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// NoCtx has no context at all: no finding.
+func NoCtx(a, b int) int { return a + b }
+
+// Bad buries the context behind a value parameter.
+func Bad(n int, ctx context.Context) error { // want `exported Bad takes context.Context as parameter 2`
+	_ = ctx
+	_ = n
+	return nil
+}
+
+// badUnexported is exempt: the convention binds only the exported API.
+func badUnexported(n int, ctx context.Context) {
+	_ = ctx
+	_ = n
+}
+
+// T is a carrier for method cases.
+type T struct{}
+
+// GoodMethod takes its context first: no finding.
+func (T) GoodMethod(ctx context.Context) { _ = ctx }
+
+// BadMethod is an exported method with a late context.
+func (T) BadMethod(n int, ctx context.Context) { // want `exported BadMethod takes context.Context as parameter 2`
+	_ = ctx
+	_ = n
+}
+
+// TwoCtx is odd but satisfies the rule: the first parameter is a
+// context, so the extra one draws no finding.
+func TwoCtx(ctx context.Context, other context.Context) {
+	_ = ctx
+	_ = other
+}
+
+// SharedNames declares the context within a shared name list; the
+// flattened position is what counts.
+func SharedNames(a, b int, ctx context.Context) { // want `exported SharedNames takes context.Context as parameter 3`
+	_ = a
+	_ = b
+	_ = ctx
+}
+
+// Ignored opts out with the suppression directive.
+func Ignored(n int, ctx context.Context) { //mlocvet:ignore ctxfirst
+	_ = ctx
+	_ = n
+}

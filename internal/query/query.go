@@ -107,6 +107,10 @@ type Result struct {
 	// (meaningful for binned stores; zero otherwise).
 	BinsAccessed int
 	BlocksRead   int
+	// CacheHits counts storage units whose decoded values were reused
+	// from a shared decode cache instead of being read and decompressed
+	// again (zero when no cache is attached).
+	CacheHits int
 }
 
 // Sort orders matches by linear index; stores produce deterministic

@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission-control errors, mapped by the handler to 429 (queue full —
+// the client should back off) and 503 (queued but the wait budget
+// expired — the server is saturated).
+var (
+	errQueueFull    = errors.New("server: admission queue full")
+	errQueueTimeout = errors.New("server: admission wait expired")
+)
+
+// admission is the bounded concurrent-query gate: at most maxConcurrent
+// queries execute at once, and at most maxQueue callers wait for a
+// slot. Everything beyond that is rejected immediately — under
+// overload the server sheds load instead of accumulating unbounded
+// goroutines (each holding a decoded request body).
+type admission struct {
+	slots    chan struct{}
+	maxQueue int64
+	wait     time.Duration
+	waiting  atomic.Int64
+}
+
+func newAdmission(maxConcurrent, maxQueue int, wait time.Duration) *admission {
+	return &admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+		wait:     wait,
+	}
+}
+
+// acquire obtains an execution slot. It returns errQueueFull when the
+// wait queue is at capacity, errQueueTimeout when the wait budget
+// expires first, or ctx.Err() when the caller gives up. The returned
+// queued duration reports how long the caller waited.
+func (a *admission) acquire(ctx context.Context) (queued time.Duration, err error) {
+	select {
+	case a.slots <- struct{}{}:
+		return 0, nil // fast path: free slot, no queueing
+	default:
+	}
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		return 0, errQueueFull
+	}
+	defer a.waiting.Add(-1)
+	start := time.Now()
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return time.Since(start), nil
+	case <-timer.C:
+		return time.Since(start), errQueueTimeout
+	case <-ctx.Done():
+		return time.Since(start), ctx.Err()
+	}
+}
+
+// release returns an execution slot.
+func (a *admission) release() { <-a.slots }
+
+// inFlight reports the number of currently executing queries.
+func (a *admission) inFlight() int { return len(a.slots) }
+
+// queued reports the number of callers waiting for a slot.
+func (a *admission) queued() int64 { return a.waiting.Load() }

@@ -1,0 +1,367 @@
+// Package server implements mlocd's HTTP/JSON query service over built
+// MLOC stores: a thin, admission-controlled front end that turns remote
+// requests into engine queries.
+//
+// Three mechanisms keep a shared deployment healthy under the paper's
+// heterogeneous access patterns:
+//
+//   - Admission control: a bounded concurrent-query semaphore plus a
+//     bounded wait queue. Overload is shed with 429 (queue full) or 503
+//     (wait budget expired), both carrying Retry-After, instead of
+//     queueing without bound.
+//   - Cooperative cancellation: the request context flows through
+//     Store.QueryContext down to the per-bin I/O loop, so a
+//     disconnected or expired client stops consuming PFS bandwidth and
+//     frees its slot at the next bin boundary.
+//   - Shared decode cache: when a cache.Cache is configured, decoded
+//     storage units are reused across requests and variables, and
+//     concurrent decodes of one unit are deduplicated.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"mloc/internal/cache"
+	"mloc/internal/core"
+	"mloc/internal/query"
+)
+
+// Config parameterizes the query service.
+type Config struct {
+	// Stores maps variable names to their built stores. Required.
+	Stores map[string]*core.Store
+	// Cache, when non-nil, is attached to every store as the shared
+	// decoded-unit cache.
+	Cache *cache.Cache
+	// MaxConcurrent bounds simultaneously executing queries (default 8).
+	MaxConcurrent int
+	// MaxQueue bounds callers waiting for a slot (default
+	// 2×MaxConcurrent); beyond it requests get 429.
+	MaxQueue int
+	// QueueWait is the longest a request waits for a slot before 503
+	// (default 2s).
+	QueueWait time.Duration
+	// DefaultRanks is the engine parallelism for requests that do not
+	// set ranks (default 4).
+	DefaultRanks int
+	// MaxMatches caps the matches returned per response (default
+	// 65536); the full count is always reported.
+	MaxMatches int
+	// MaxBodyBytes caps the request body (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) normalize() error {
+	if len(c.Stores) == 0 {
+		return fmt.Errorf("server: at least one store is required")
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 8
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.DefaultRanks <= 0 {
+		c.DefaultRanks = 4
+	}
+	if c.MaxMatches <= 0 {
+		c.MaxMatches = 65536
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return nil
+}
+
+// Server is the query service. Create with New, mount via Handler.
+type Server struct {
+	cfg Config
+	adm *admission
+
+	draining atomic.Bool
+
+	queriesTotal    atomic.Int64
+	queriesOK       atomic.Int64
+	queriesRejected atomic.Int64
+	queriesCanceled atomic.Int64
+	queriesFailed   atomic.Int64
+	queueWaitMicros atomic.Int64
+}
+
+// New validates the configuration, attaches the shared cache to every
+// store, and returns the service.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	if cfg.Cache != nil {
+		for _, st := range cfg.Stores {
+			st.SetDecodeCache(cfg.Cache)
+		}
+	}
+	return &Server{
+		cfg: cfg,
+		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
+	}, nil
+}
+
+// SetDraining flips the draining flag: while set, new queries get 503
+// with Retry-After and in-flight queries run to completion. Graceful
+// shutdown sets it before http.Server.Shutdown.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/vars", s.handleVars)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// matchWire is one match in a query response.
+type matchWire struct {
+	Index int64   `json:"index"`
+	Value float64 `json:"value"`
+}
+
+// timeWire is the virtual-time component breakdown in a response.
+type timeWire struct {
+	IO          float64 `json:"io"`
+	Decompress  float64 `json:"decompress"`
+	Reconstruct float64 `json:"reconstruct"`
+	Total       float64 `json:"total"`
+}
+
+// resultWire is the JSON response body of POST /query.
+type resultWire struct {
+	Var          string      `json:"var"`
+	Matches      []matchWire `json:"matches"`
+	MatchesTotal int         `json:"matches_total"`
+	Truncated    bool        `json:"truncated"`
+	BinsAccessed int         `json:"bins_accessed"`
+	BlocksRead   int         `json:"blocks_read"`
+	BytesRead    int64       `json:"bytes_read"`
+	CacheHits    int         `json:"cache_hits"`
+	Time         timeWire    `json:"time"`
+	QueuedMS     float64     `json:"queued_ms"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.queriesTotal.Add(1)
+	if s.draining.Load() {
+		s.queriesRejected.Add(1)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	wire, err := ParseRequest(r.Body)
+	if err != nil {
+		s.queriesFailed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	st, ok := s.cfg.Stores[wire.Var]
+	if !ok {
+		s.queriesFailed.Add(1)
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown variable %q", wire.Var))
+		return
+	}
+	req, err := wire.ToRequest(st.Shape())
+	if err != nil {
+		s.queriesFailed.Add(1)
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ranks := wire.Ranks
+	if ranks == 0 {
+		ranks = s.cfg.DefaultRanks
+	}
+
+	queued, err := s.adm.acquire(r.Context())
+	if err != nil {
+		s.admissionFailure(w, err)
+		return
+	}
+	defer s.adm.release()
+	s.queueWaitMicros.Add(queued.Microseconds())
+
+	res, err := st.QueryContext(r.Context(), req, ranks)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone; nothing useful can be written. The
+			// point of this path is that the engine already stopped at a
+			// bin boundary and the deferred release frees the slot now
+			// rather than after the full scan.
+			s.queriesCanceled.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "query canceled")
+			return
+		}
+		s.queriesFailed.Add(1)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.queriesOK.Add(1)
+	writeJSON(w, http.StatusOK, buildResult(wire.Var, res, s.cfg.MaxMatches, queued))
+}
+
+// admissionFailure maps an acquire error to its HTTP response.
+func (s *Server) admissionFailure(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.queriesRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "query queue full")
+	case errors.Is(err, errQueueTimeout):
+		s.queriesRejected.Add(1)
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusServiceUnavailable, "no query slot within wait budget")
+	default: // the caller's context ended while queued
+		s.queriesCanceled.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "canceled while queued")
+	}
+}
+
+// buildResult converts an engine result to the wire form, capping the
+// match list.
+func buildResult(name string, res *query.Result, maxMatches int, queued time.Duration) resultWire {
+	out := resultWire{
+		Var:          name,
+		MatchesTotal: len(res.Matches),
+		BinsAccessed: res.BinsAccessed,
+		BlocksRead:   res.BlocksRead,
+		BytesRead:    res.BytesRead,
+		CacheHits:    res.CacheHits,
+		Time: timeWire{
+			IO:          res.Time.IO,
+			Decompress:  res.Time.Decompress,
+			Reconstruct: res.Time.Reconstruct,
+			Total:       res.Time.Total(),
+		},
+		QueuedMS: float64(queued.Microseconds()) / 1000,
+	}
+	n := len(res.Matches)
+	if n > maxMatches {
+		n = maxMatches
+		out.Truncated = true
+	}
+	out.Matches = make([]matchWire, n)
+	for i := 0; i < n; i++ {
+		out.Matches[i] = matchWire{Index: res.Matches[i].Index, Value: res.Matches[i].Value}
+	}
+	return out
+}
+
+// handleStats serves a flat JSON object of numeric counters (expvar
+// style): admission, outcome, and cache statistics.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	stats := map[string]int64{
+		"queries_total":    s.queriesTotal.Load(),
+		"queries_ok":       s.queriesOK.Load(),
+		"queries_rejected": s.queriesRejected.Load(),
+		"queries_canceled": s.queriesCanceled.Load(),
+		"queries_failed":   s.queriesFailed.Load(),
+		"queue_wait_us":    s.queueWaitMicros.Load(),
+		"in_flight":        int64(s.adm.inFlight()),
+		"queued":           s.adm.queued(),
+		"draining":         0,
+		"stores":           int64(len(s.cfg.Stores)),
+	}
+	if s.draining.Load() {
+		stats["draining"] = 1
+	}
+	if s.cfg.Cache != nil {
+		cs := s.cfg.Cache.Stats()
+		stats["cache_hits"] = cs.Hits
+		stats["cache_misses"] = cs.Misses
+		stats["cache_evictions"] = cs.Evictions
+		stats["cache_waits"] = cs.Waits
+		stats["cache_entries"] = int64(cs.Entries)
+		stats["cache_bytes"] = cs.Bytes
+		stats["cache_capacity"] = cs.Capacity
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+// varWire describes one served variable in GET /vars.
+type varWire struct {
+	Var   string `json:"var"`
+	Shape []int  `json:"shape"`
+	Bins  int    `json:"bins"`
+	Mode  string `json:"mode"`
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	names := make([]string, 0, len(s.cfg.Stores))
+	for name := range s.cfg.Stores {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	vars := make([]varWire, 0, len(names))
+	for _, name := range names {
+		st := s.cfg.Stores[name]
+		vars = append(vars, varWire{
+			Var:   name,
+			Shape: st.Shape(),
+			Bins:  st.NumBins(),
+			Mode:  string(st.Mode()),
+		})
+	}
+	writeJSON(w, http.StatusOK, vars)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// writeJSON writes v as a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// The response is already committed; nothing to do but note it
+		// for the connection (usually a mid-write disconnect).
+		_ = err //mlocvet:ignore uncheckederr
+	}
+}
+
+// writeError writes a JSON error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{
+		"error":  msg,
+		"status": strconv.Itoa(status),
+	})
+}

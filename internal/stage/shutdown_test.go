@@ -1,0 +1,208 @@
+package stage
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mloc/internal/compress"
+	"mloc/internal/core"
+	"mloc/internal/datagen"
+	"mloc/internal/pfs"
+)
+
+// gateCodec blocks every EncodeBytes call until release is closed,
+// letting tests hold a staging worker mid-build deterministically.
+type gateCodec struct {
+	inner   compress.ByteCodec
+	started chan struct{} // closed on the first encode
+	release chan struct{}
+	once    *sync.Once
+}
+
+func newGateCodec() gateCodec {
+	return gateCodec{
+		inner:   compress.RawBytes{},
+		started: make(chan struct{}),
+		release: make(chan struct{}),
+		once:    &sync.Once{},
+	}
+}
+
+func (g gateCodec) Name() string { return g.inner.Name() }
+func (g gateCodec) EncodeBytes(src []byte) ([]byte, error) {
+	g.once.Do(func() { close(g.started) })
+	<-g.release
+	return g.inner.EncodeBytes(src)
+}
+func (g gateCodec) DecodeBytes(data, dst []byte) ([]byte, error) {
+	return g.inner.DecodeBytes(data, dst)
+}
+
+func gatedPipeline(t *testing.T) (*Pipeline, gateCodec) {
+	t.Helper()
+	gate := newGateCodec()
+	cfg := core.DefaultConfig([]int{8, 8})
+	cfg.NumBins = 4
+	cfg.SampleSize = 64
+	cfg.ByteCodec = gate
+	p, err := New(Config{
+		FS:         pfs.New(pfs.DefaultConfig()),
+		Store:      cfg,
+		Prefix:     "sim",
+		Workers:    1,
+		QueueDepth: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, gate
+}
+
+func smallStep(step int) StepVar {
+	d := datagen.GTSLike(16, 16, int64(step+1))
+	v, _ := d.Var("phi")
+	return StepVar{Step: step, Name: "phi", Shape: d.Shape, Data: v.Data}
+}
+
+// TestSubmitContextCanceledWhileBlocked is the regression test for
+// cancel-while-submitting: with the single worker held mid-build and
+// the queue full, a blocked SubmitContext must abort on cancellation
+// without losing either accepted step — and without the historical
+// send-on-closed-channel panic when Drain follows.
+func TestSubmitContextCanceledWhileBlocked(t *testing.T) {
+	p, gate := gatedPipeline(t)
+
+	if err := p.Submit(smallStep(0)); err != nil { // worker picks this up
+		t.Fatal(err)
+	}
+	<-gate.started                                 // worker is now held mid-build
+	if err := p.Submit(smallStep(1)); err != nil { // fills the depth-1 queue
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.SubmitContext(ctx, smallStep(2)) // blocks: queue full
+	}()
+	time.Sleep(20 * time.Millisecond) // let the submitter reach the blocked send
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("blocked SubmitContext = %v, want context.Canceled", err)
+		}
+		if !strings.Contains(err.Error(), "not accepted") {
+			t.Errorf("error %q does not state the step was not accepted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled SubmitContext did not return")
+	}
+
+	close(gate.release)
+	results := p.Drain()
+	if len(results) != 2 {
+		t.Fatalf("Drain returned %d results, want the 2 accepted steps", len(results))
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Errorf("result %d: %v", i, r.Err)
+		}
+		if r.Step != i {
+			t.Errorf("result %d is step %d, want %d", i, r.Step, i)
+		}
+	}
+}
+
+// TestShutdownDeadlineReturnsPartialResults holds the worker past a
+// Shutdown deadline: Shutdown must return what finished so far with an
+// error wrapping the context's, and a later Drain must still deliver
+// every accepted step.
+func TestShutdownDeadlineReturnsPartialResults(t *testing.T) {
+	p, gate := gatedPipeline(t)
+	if err := p.Submit(smallStep(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-gate.started
+	if err := p.Submit(smallStep(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	partial, err := p.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown past deadline = %v, want context.DeadlineExceeded", err)
+	}
+	if len(partial) != 0 {
+		t.Fatalf("Shutdown returned %d results while the worker was held, want 0", len(partial))
+	}
+
+	if err := p.Submit(smallStep(2)); err == nil {
+		t.Error("Submit after Shutdown accepted a step")
+	}
+
+	close(gate.release)
+	results, err := p.Shutdown(context.Background())
+	if err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("final results %d, want 2 accepted steps", len(results))
+	}
+}
+
+// TestConcurrentSubmitAndShutdown races many submitters against a
+// shutdown; every submission reported accepted must appear in the
+// results, and nothing may panic (the old Drain could close the intake
+// channel under a concurrent Submit's send).
+func TestConcurrentSubmitAndShutdown(t *testing.T) {
+	cfg := core.DefaultConfig([]int{8, 8})
+	cfg.NumBins = 4
+	cfg.SampleSize = 64
+	p, err := New(Config{
+		FS:         pfs.New(pfs.DefaultConfig()),
+		Store:      cfg,
+		Prefix:     "sim",
+		Workers:    2,
+		QueueDepth: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				err := p.Submit(smallStep(g*10 + i))
+				if err == nil {
+					accepted.Add(1)
+				} else if !strings.Contains(err.Error(), "already drained") &&
+					!strings.Contains(err.Error(), "not accepted") {
+					t.Errorf("submitter %d: unexpected error %v", g, err)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(5 * time.Millisecond)
+	results, err := p.Shutdown(context.Background())
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	wg.Wait()
+	// Late submitters may have been accepted after Shutdown snapshotted;
+	// Drain (idempotent) returns the final set.
+	results = p.Drain()
+	if int64(len(results)) != accepted.Load() {
+		t.Fatalf("%d results for %d accepted submissions", len(results), accepted.Load())
+	}
+}

@@ -13,6 +13,7 @@
 package stage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -62,16 +63,24 @@ type Result struct {
 }
 
 // Pipeline is a running staging pipeline. Create with New, feed with
-// Submit, finish with Drain.
+// Submit/SubmitContext, finish with Drain or Shutdown.
 type Pipeline struct {
 	cfg  Config
 	in   chan StepVar
 	wg   sync.WaitGroup
 	once sync.Once
+	// done closes once every worker has exited (all accepted steps
+	// staged).
+	done chan struct{}
 
 	mu      sync.Mutex
+	cond    *sync.Cond // signals sending transitions; guards close(in)
 	results []Result
 	closed  bool
+	// sending counts SubmitContext calls between their closed-check and
+	// their channel send; intake close waits for it to reach zero so a
+	// concurrent Submit never sends on a closed channel.
+	sending int
 }
 
 // New validates the configuration and starts the workers.
@@ -92,9 +101,11 @@ func New(cfg Config) (*Pipeline, error) {
 		cfg.QueueDepth = 2 * cfg.Workers
 	}
 	p := &Pipeline{
-		cfg: cfg,
-		in:  make(chan StepVar, cfg.QueueDepth),
+		cfg:  cfg,
+		in:   make(chan StepVar, cfg.QueueDepth),
+		done: make(chan struct{}),
 	}
+	p.cond = sync.NewCond(&p.mu)
 	for w := 0; w < cfg.Workers; w++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -123,14 +134,17 @@ func (p *Pipeline) worker() {
 
 // Submit enqueues one variable for staging. It blocks when the staging
 // queue is full (back-pressure on the simulation) and errors after
-// Drain.
+// shutdown. It is SubmitContext with a background context.
 func (p *Pipeline) Submit(sv StepVar) error {
-	p.mu.Lock()
-	closed := p.closed
-	p.mu.Unlock()
-	if closed {
-		return fmt.Errorf("stage: pipeline already drained")
-	}
+	return p.SubmitContext(context.Background(), sv)
+}
+
+// SubmitContext is Submit under a context: a submission blocked on a
+// full staging queue aborts with an error wrapping ctx.Err() when the
+// context ends, and the step is NOT accepted (the caller may re-emit
+// it). Steps whose SubmitContext returned nil are accepted and are
+// never lost, even when a shutdown races with the submission.
+func (p *Pipeline) SubmitContext(ctx context.Context, sv StepVar) error {
 	if sv.Name == "" {
 		return fmt.Errorf("stage: variable name is required")
 	}
@@ -141,22 +155,48 @@ func (p *Pipeline) Submit(sv StepVar) error {
 		return fmt.Errorf("stage: step %d %s: %d values for shape %v",
 			sv.Step, sv.Name, len(sv.Data), sv.Shape)
 	}
-	p.in <- sv
-	return nil
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return fmt.Errorf("stage: pipeline already drained")
+	}
+	p.sending++
+	p.mu.Unlock()
+	defer func() {
+		p.mu.Lock()
+		p.sending--
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}()
+	select {
+	case p.in <- sv:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("stage: step %d %s not accepted: %w", sv.Step, sv.Name, ctx.Err())
+	}
 }
 
-// Drain closes submission, waits for all staging work, and returns the
-// results ordered by (step, name). Individual build failures are
-// reported inside the results, not as a Drain error. Drain is
-// idempotent.
-func (p *Pipeline) Drain() []Result {
-	p.once.Do(func() {
-		p.mu.Lock()
-		p.closed = true
-		p.mu.Unlock()
-		close(p.in)
+// closeIntake marks the pipeline closed, waits for in-flight
+// submissions to land or abort, then closes the staging queue and
+// arranges for done to close when the workers finish. Called exactly
+// once, through p.once.
+func (p *Pipeline) closeIntake() {
+	p.mu.Lock()
+	p.closed = true
+	for p.sending > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	close(p.in)
+	go func() {
 		p.wg.Wait()
-	})
+		close(p.done)
+	}()
+}
+
+// snapshotResults copies the results accumulated so far, ordered by
+// (step, name).
+func (p *Pipeline) snapshotResults() []Result {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	out := append([]Result(nil), p.results...)
@@ -167,4 +207,33 @@ func (p *Pipeline) Drain() []Result {
 		return out[i].Name < out[j].Name
 	})
 	return out
+}
+
+// Shutdown closes submission and waits — bounded by ctx — for the
+// workers to stage every accepted step. On a clean finish it returns
+// the complete results with a nil error. When ctx ends first it
+// returns the results completed so far plus an error wrapping
+// ctx.Err(); the remaining accepted steps are still staged in the
+// background and a later Shutdown or Drain call retrieves them
+// (accepted steps are never lost). Individual build failures are
+// reported inside the results, not as a Shutdown error. Shutdown is
+// idempotent and safe to call concurrently with SubmitContext.
+func (p *Pipeline) Shutdown(ctx context.Context) ([]Result, error) {
+	p.once.Do(p.closeIntake)
+	select {
+	case <-p.done:
+		return p.snapshotResults(), nil
+	case <-ctx.Done():
+		return p.snapshotResults(), fmt.Errorf("stage: shutdown interrupted: %w", ctx.Err())
+	}
+}
+
+// Drain closes submission, waits for all staging work, and returns the
+// results ordered by (step, name). Individual build failures are
+// reported inside the results, not as a Drain error. Drain is
+// idempotent.
+func (p *Pipeline) Drain() []Result {
+	p.once.Do(p.closeIntake)
+	<-p.done
+	return p.snapshotResults()
 }

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the mlocd query service:
+# build the binaries, boot mlocd on an ephemeral port over a tiny
+# synthetic store, run the same remote query twice through mlocctl,
+# check the answers agree, and assert the second run hit the shared
+# decode cache.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+mlocd_pid=""
+cleanup() {
+    if [[ -n "$mlocd_pid" ]] && kill -0 "$mlocd_pid" 2>/dev/null; then
+        kill "$mlocd_pid" 2>/dev/null || true
+        wait "$mlocd_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building binaries"
+go build -o "$workdir/mlocd" ./cmd/mlocd
+go build -o "$workdir/mlocctl" ./cmd/mlocctl
+
+echo "serve-smoke: booting mlocd"
+"$workdir/mlocd" -addr 127.0.0.1:0 -store t=gts:64:1 -bins 16 -ranks 2 \
+    >"$workdir/mlocd.log" 2>&1 &
+mlocd_pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^mlocd: listening on //p' "$workdir/mlocd.log" | head -n1)
+    [[ -n "$addr" ]] && break
+    if ! kill -0 "$mlocd_pid" 2>/dev/null; then
+        echo "serve-smoke: mlocd died during startup:" >&2
+        cat "$workdir/mlocd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+if [[ -z "$addr" ]]; then
+    echo "serve-smoke: mlocd never reported a listen address" >&2
+    cat "$workdir/mlocd.log" >&2
+    exit 1
+fi
+echo "serve-smoke: mlocd is up at $addr"
+
+query() {
+    "$workdir/mlocctl" query -remote "$addr" -var t \
+        -vc=-1e30:1e30 -sc 0:31,0:31 -ranks 2
+}
+
+echo "serve-smoke: first query (cold cache)"
+query >"$workdir/q1.out"
+echo "serve-smoke: second identical query (must hit the cache)"
+query >"$workdir/q2.out"
+
+# The match lines must agree exactly; timing lines are virtual-time
+# and excluded only because the queue wait differs per run.
+grep 'match at' "$workdir/q1.out" >"$workdir/q1.matches"
+grep 'match at' "$workdir/q2.out" >"$workdir/q2.matches"
+if ! diff -u "$workdir/q1.matches" "$workdir/q2.matches"; then
+    echo "serve-smoke: FAIL — repeated query returned different matches" >&2
+    exit 1
+fi
+if [[ ! -s "$workdir/q1.matches" ]]; then
+    echo "serve-smoke: FAIL — query returned no matches" >&2
+    cat "$workdir/q1.out" >&2
+    exit 1
+fi
+
+"$workdir/mlocctl" stats -remote "$addr" >"$workdir/stats.out"
+cache_hits=$(awk '$1 == "cache_hits" {print $2}' "$workdir/stats.out")
+queries_ok=$(awk '$1 == "queries_ok" {print $2}' "$workdir/stats.out")
+if [[ "${queries_ok:-0}" -ne 2 ]]; then
+    echo "serve-smoke: FAIL — queries_ok=$queries_ok, want 2" >&2
+    cat "$workdir/stats.out" >&2
+    exit 1
+fi
+if [[ "${cache_hits:-0}" -le 0 ]]; then
+    echo "serve-smoke: FAIL — second identical query produced no cache hits" >&2
+    cat "$workdir/stats.out" >&2
+    exit 1
+fi
+
+kill -TERM "$mlocd_pid"
+wait "$mlocd_pid"
+mlocd_pid=""
+if ! grep -q 'drained' "$workdir/mlocd.log"; then
+    echo "serve-smoke: FAIL — mlocd did not drain gracefully on SIGTERM" >&2
+    cat "$workdir/mlocd.log" >&2
+    exit 1
+fi
+
+echo "serve-smoke: OK ($(wc -l <"$workdir/q1.matches") match lines, cache_hits=$cache_hits)"
