@@ -6,7 +6,7 @@ FUZZTIME ?= 10s
 # bite.
 RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage ./internal/cache ./internal/server
 
-.PHONY: build test vet mlocvet race fuzz-short serve-smoke check
+.PHONY: build test vet mlocvet mlocvet-baseline race fuzz-short fuzz-list fuzz-list-check serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -14,31 +14,43 @@ build:
 test:
 	$(GO) test ./...
 
-## vet: go vet plus the repo's own analyzer suite (cmd/mlocvet).
+## vet: go vet plus the repo's own analyzer suite (cmd/mlocvet),
+## gated on the accepted baseline so only NEW findings fail.
 vet:
 	$(GO) vet ./...
-	$(GO) run ./cmd/mlocvet ./...
+	$(GO) run ./cmd/mlocvet -baseline mlocvet-baseline.json ./...
 
-## mlocvet: just the custom analyzer suite.
+## mlocvet: just the custom analyzer suite (baseline-gated).
 mlocvet:
-	$(GO) run ./cmd/mlocvet ./...
+	$(GO) run ./cmd/mlocvet -baseline mlocvet-baseline.json ./...
+
+## mlocvet-baseline: re-snapshot the accepted mlocvet findings after
+## triaging (fixing or //mlocvet:ignore-ing) everything else.
+mlocvet-baseline:
+	$(GO) run ./cmd/mlocvet -write-baseline mlocvet-baseline.json ./...
 
 ## race: race-detector pass over the parallel engine packages.
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-## fuzz-short: run every fuzz target briefly (~$(FUZZTIME) each).
-## `go test -fuzz` accepts exactly one matching target per invocation,
-## so each target is listed explicitly.
-fuzz-short:
-	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzIsobarDecode$$' -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzIsabelaDecode$$' -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzFPCDecode$$' -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzFPCRoundtrip$$' -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/compress -run='^$$' -fuzz='^FuzzBitUnpack$$' -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzMetaUnmarshal$$' -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/core -run='^$$' -fuzz='^FuzzDecodeOffsets$$' -fuzztime=$(FUZZTIME)
-	$(GO) test ./internal/server -run='^$$' -fuzz='^FuzzDecodeRequest$$' -fuzztime=$(FUZZTIME)
+## fuzz-short: run every fuzz target briefly (~$(FUZZTIME) each). The
+## target inventory lives in scripts/fuzz_targets.txt (regenerate with
+## `make fuzz-list`; `make check` fails if it goes stale). `go test
+## -fuzz` accepts exactly one matching target per invocation, so each
+## line runs separately.
+fuzz-short: fuzz-list-check
+	@while read -r pkg target; do \
+		echo "$(GO) test $$pkg -fuzz=^$$target\$$ -fuzztime=$(FUZZTIME)"; \
+		$(GO) test "$$pkg" -run='^$$' -fuzz="^$$target\$$" -fuzztime=$(FUZZTIME) || exit 1; \
+	done <scripts/fuzz_targets.txt
+
+## fuzz-list: regenerate the fuzz-target inventory from `go test -list`.
+fuzz-list:
+	./scripts/list_fuzz.sh
+
+## fuzz-list-check: fail when scripts/fuzz_targets.txt is stale.
+fuzz-list-check:
+	./scripts/list_fuzz.sh --check
 
 ## serve-smoke: boot mlocd, query it twice via mlocctl, assert the
 ## second query hits the shared decode cache, drain gracefully.
@@ -46,4 +58,4 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 ## check: everything CI runs (minus the fuzzing).
-check: build test vet race serve-smoke
+check: build test vet fuzz-list-check race serve-smoke

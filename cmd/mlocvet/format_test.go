@@ -1,0 +1,201 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"mloc/internal/lint"
+)
+
+const badFixture = "../../internal/lint/testdata/src/floatcmp"
+
+// TestRunJSONOutput checks -json emits a parseable array with the
+// documented fields.
+func TestRunJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", badFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-json on bad fixture: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json produced an empty array on a bad fixture")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if strings.Contains(d.File, `\`) {
+			t.Errorf("file %q is not slash-separated", d.File)
+		}
+	}
+}
+
+// sarifShape mirrors the parts of SARIF 2.1.0 the gate depends on.
+type sarifShape struct {
+	Schema  string `json:"$schema"`
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID string `json:"id"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID  string `json:"ruleId"`
+			Level   string `json:"level"`
+			Message struct {
+				Text string `json:"text"`
+			} `json:"message"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+// TestRunSARIFOutput checks -sarif emits a structurally valid SARIF
+// 2.1.0 log whose rules cover the whole suite.
+func TestRunSARIFOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-sarif", badFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("-sarif on bad fixture: exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var log sarifShape
+	if err := json.Unmarshal(stdout.Bytes(), &log); err != nil {
+		t.Fatalf("-sarif output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif") {
+		t.Errorf("version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	if r.Tool.Driver.Name != "mlocvet" {
+		t.Errorf("driver name %q, want mlocvet", r.Tool.Driver.Name)
+	}
+	if len(r.Tool.Driver.Rules) != len(lint.All()) {
+		t.Errorf("%d rules, want one per analyzer (%d)", len(r.Tool.Driver.Rules), len(lint.All()))
+	}
+	if len(r.Results) == 0 {
+		t.Fatal("no results on a bad fixture")
+	}
+	sawFloatcmp := false
+	for _, res := range r.Results {
+		if res.RuleID == "floatcmp" {
+			sawFloatcmp = true
+		}
+		if res.Message.Text == "" || len(res.Locations) != 1 {
+			t.Errorf("malformed result: %+v", res)
+			continue
+		}
+		loc := res.Locations[0].PhysicalLocation
+		if loc.ArtifactLocation.URI == "" || loc.Region.StartLine <= 0 {
+			t.Errorf("malformed location: %+v", loc)
+		}
+	}
+	if !sawFloatcmp {
+		t.Error("no floatcmp result on the floatcmp fixture")
+	}
+}
+
+// TestRunJSONAndSARIFExclusive checks the two formats cannot combine.
+func TestRunJSONAndSARIFExclusive(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "-sarif", "."}, &stdout, &stderr); code != 2 {
+		t.Errorf("-json -sarif: exit %d, want 2", code)
+	}
+}
+
+// TestBaselineRoundTrip drives the write/compare cycle: a snapshot of
+// the current findings makes the same run exit 0, and a run with
+// findings beyond the snapshot exits 1 reporting only the new ones.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-write-baseline", full, badFixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline: exit %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "wrote baseline") {
+		t.Errorf("missing write confirmation, stderr: %s", stderr.String())
+	}
+
+	// Same tree, same baseline: every finding is accepted, exit 0.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", full, badFixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("baseline compare on unchanged tree: exit %d\nstdout: %s", code, stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unchanged tree reported findings:\n%s", stdout.String())
+	}
+
+	// A baseline that predates the floatcmp findings (written with an
+	// analyzer that fires nothing here) makes them NEW: exit 1, and
+	// only the new findings print.
+	narrow := filepath.Join(dir, "narrow.json")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-only", "errprefix", "-write-baseline", narrow, badFixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline (narrow): exit %d (stderr: %s)", code, stderr.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", narrow, badFixture}, &stdout, &stderr); code != 1 {
+		t.Fatalf("baseline compare with new findings: exit %d, want 1\nstderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "floatcmp:") {
+		t.Errorf("new findings not reported:\n%s", stdout.String())
+	}
+}
+
+// TestBaselineRejectsCorruptFile checks a malformed baseline is a usage
+// error, not a silent all-clear.
+func TestBaselineRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(path, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-baseline", path, badFixture}, &stdout, &stderr); code != 2 {
+		t.Errorf("corrupt baseline: exit %d, want 2 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// BenchmarkMlocvetRepo times the full-repo analyzer pass and guards
+// the CI budget: the gate runs on every push, so one pass must stay
+// within seconds, not minutes.
+func BenchmarkMlocvetRepo(b *testing.B) {
+	const budget = 30 * time.Second
+	for i := 0; i < b.N; i++ {
+		var stdout, stderr bytes.Buffer
+		start := time.Now()
+		if code := run([]string{"../../..."}, &stdout, &stderr); code != 0 {
+			b.Fatalf("full-repo run: exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+		}
+		if d := time.Since(start); d > budget {
+			b.Fatalf("full-repo pass took %v, budget %v", d, budget)
+		}
+	}
+}

@@ -1,23 +1,36 @@
 // Command mlocvet runs MLOC's custom static-analysis suite over the
 // repository. It is the stdlib-only companion to `go vet`: the
 // analyzers in internal/lint machine-enforce conventions the standard
-// checks do not know about (SPMD-only goroutines, rank-local
-// *mpi.Comm, "<pkg>: " error prefixes, tolerance-based float
-// comparison, checked errors, documented exports).
+// checks do not know about — the syntactic generation (SPMD-only
+// goroutines, rank-local *mpi.Comm, "<pkg>: " error prefixes,
+// tolerance-based float comparison, checked errors, documented
+// exports) and the flow-aware generation (lock-order cycles, untrusted
+// wire lengths reaching allocations, hot-loop allocations, shared
+// magic constants, mixed atomic/mutex field disciplines).
 //
 // Usage:
 //
-//	mlocvet [-list] [-only analyzer[,analyzer]] [packages]
+//	mlocvet [-list] [-only names] [-json|-sarif] [-baseline file]
+//	        [-write-baseline file] [packages]
 //
 // Packages follow go-tool patterns (directories, with an optional
-// "..." wildcard suffix); the default is "./...". Diagnostics print
-// one per line as "file:line: analyzer: message". The exit code is 0
-// when the tree is clean, 1 when any diagnostic fired, and 2 on usage
-// or load errors. A finding is suppressed by a trailing (or
-// immediately preceding) "//mlocvet:ignore <analyzer>" comment.
+// "..." wildcard suffix); the default is "./...". All matched packages
+// load into one program so the cross-package analyzers see every edge.
+// Diagnostics print one per line as "file:line: analyzer: message";
+// -json emits them as a JSON array and -sarif as a SARIF 2.1.0 log for
+// code-scanning upload.
+//
+// -write-baseline snapshots the current findings and exits 0.
+// -baseline compares against a snapshot: previously accepted findings
+// are filtered out and only NEW findings are reported and fail the
+// run. The exit code is 0 when nothing (new) fired, 1 otherwise, and 2
+// on usage or load errors. A finding is suppressed at the source line
+// by a trailing (or immediately preceding) "//mlocvet:ignore
+// <analyzer>" comment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -40,17 +53,25 @@ func printf(w io.Writer, format string, args ...any) {
 }
 
 // run executes the driver and returns its exit code: 0 clean, 1
-// findings, 2 usage or load failure.
+// (new) findings, 2 usage or load failure.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mlocvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
+	baselinePath := fs.String("baseline", "", "report only findings not in this baseline `file`")
+	writeBaseline := fs.String("write-baseline", "", "snapshot current findings to `file` and exit 0")
 	fs.Usage = func() {
-		printf(stderr, "usage: mlocvet [-list] [-only analyzer[,analyzer]] [packages]\n")
+		printf(stderr, "usage: mlocvet [-list] [-only names] [-json|-sarif] [-baseline file] [-write-baseline file] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		printf(stderr, "mlocvet: -json and -sarif are mutually exclusive\n")
 		return 2
 	}
 
@@ -93,20 +114,102 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	exit := 0
+	// Load every matched package into one program: the cross-package
+	// analyzers (lockorder, atomicmix) need the whole graph at once.
+	pkgs := make([]*lint.Package, 0, len(dirs))
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
 			printf(stderr, "mlocvet: %v\n", err)
 			return 2
 		}
-		for _, d := range lint.Run(pkg, analyzers) {
-			d.Pos.Filename = relPath(d.Pos.Filename)
+		pkgs = append(pkgs, pkg)
+	}
+	diags := lint.RunAll(pkgs, analyzers)
+	for i := range diags {
+		diags[i].Pos.Filename = relPath(diags[i].Pos.Filename)
+	}
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			printf(stderr, "mlocvet: %v\n", err)
+			return 2
+		}
+		werr := lint.WriteBaseline(f, lint.NewBaseline(diags))
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			printf(stderr, "mlocvet: writing baseline: %v\n", werr)
+			return 2
+		}
+		printf(stderr, "mlocvet: wrote baseline %s (%d findings)\n", *writeBaseline, len(diags))
+		return 0
+	}
+
+	report := diags
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			printf(stderr, "mlocvet: %v\n", err)
+			return 2
+		}
+		base, err := lint.ReadBaseline(f)
+		_ = f.Close() //mlocvet:ignore uncheckederr
+		if err != nil {
+			printf(stderr, "mlocvet: %v\n", err)
+			return 2
+		}
+		report = base.New(diags)
+	}
+
+	switch {
+	case *sarifOut:
+		if err := lint.WriteSARIF(stdout, report, analyzers); err != nil {
+			printf(stderr, "mlocvet: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
+		if err := writeJSON(stdout, report); err != nil {
+			printf(stderr, "mlocvet: %v\n", err)
+			return 2
+		}
+	default:
+		for _, d := range report {
 			printf(stdout, "%s\n", d)
-			exit = 1
 		}
 	}
-	return exit
+	if len(report) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// jsonDiag is the -json output shape for one diagnostic.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits diagnostics as an indented JSON array.
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // relPath shortens an absolute diagnostic path relative to the current

@@ -57,14 +57,14 @@ func main() {
 
 	fmt.Printf("mean-temperature analysis over a %d-point region:\n", len(exact.Matches))
 	fmt.Printf("  %-8s %-10s %-12s %-14s %s\n", "PLoD", "bytes/val", "MB read", "mean", "rel. error")
-	for _, level := range []int{1, 2, 3, 7} {
+	for _, level := range []int{1, 2, 3, plod.MaxLevel} {
 		res, err := store.Query(&query.Request{SC: &sc, PLoDLevel: level}, 8)
 		if err != nil {
 			log.Fatal(err)
 		}
 		m := mean(res)
 		label := fmt.Sprintf("level %d", level)
-		if level == 7 {
+		if level == plod.MaxLevel {
 			label = "full"
 		}
 		fmt.Printf("  %-8s %-10d %-12.2f %-14.6f %.2e\n",

@@ -240,6 +240,18 @@ func (c *Isabela) DecodeFloats(data []byte, dst []float64) ([]float64, error) {
 	if count > uint64(len(data)) {
 		return nil, fmt.Errorf("compress: isabela declares %d values in %d bytes", count, len(data))
 	}
+	// window and ncoefs are also attacker-controlled; unclamped, a
+	// value above MaxInt64 wraps the int() conversions below negative
+	// and panics the window allocations. A window never covers more
+	// than count values and never carries more coefficients than
+	// values, so clamping to the (already bounded) count is lossless
+	// for honest streams.
+	if window > count {
+		window = count
+	}
+	if ncoefs > window {
+		ncoefs = window
+	}
 
 	remaining := int(count)
 	for remaining > 0 {
@@ -309,7 +321,10 @@ func (c *Isabela) decodeWindow(dst []float64, data []byte, wlen, ncoefs int, rel
 		if uint64(len(data)) < rlen {
 			return nil, nil, fmt.Errorf("compress: isabela residuals truncated")
 		}
-		resid, err := c.zl.DecodeBytes(data[:rlen], nil)
+		// A well-formed stream holds one varint per window value, so the
+		// inflated size is bounded; cap the decode so a corrupt stream
+		// cannot decompress without limit.
+		resid, err := c.zl.DecodeBytesMax(data[:rlen], nil, int64(wlen)*binary.MaxVarintLen64)
 		if err != nil {
 			return nil, nil, fmt.Errorf("compress: isabela residuals: %w", err)
 		}

@@ -89,6 +89,15 @@ func (c *Isobar) DecodeFloats(data []byte, dst []float64) ([]float64, error) {
 		return nil, fmt.Errorf("compress: isobar header: %w", err)
 	}
 	data = data[n:]
+	// The declared count sizes every plane and the output allocation,
+	// and it comes from an untrusted stream. Plane 0 alone stores at
+	// least one byte per value, and DEFLATE expands at most ~1032:1, so
+	// any count beyond len(data)*1032 cannot be backed by real data —
+	// reject it before the per-plane size arithmetic can overflow.
+	const maxInflate = 1032
+	if count > uint64(len(data))*maxInflate {
+		return nil, fmt.Errorf("compress: isobar header: count %d implausible for %d payload bytes", count, len(data))
+	}
 	planes := make([][]byte, plod.NumPlanes)
 	for p := 0; p < plod.NumPlanes; p++ {
 		if len(data) < 1 {
@@ -106,11 +115,14 @@ func (c *Isobar) DecodeFloats(data []byte, dst []float64) ([]float64, error) {
 		}
 		payload := data[:plen]
 		data = data[plen:]
+		want := int(count) * plod.PlaneWidth(p)
 		switch flag {
 		case 0:
 			planes[p] = payload
 		case 1:
-			dec, err := c.zl.DecodeBytes(payload, nil)
+			// Bound the inflated size by the plane's expected length so
+			// a corrupt stream cannot decompress without limit.
+			dec, err := c.zl.DecodeBytesMax(payload, nil, int64(want))
 			if err != nil {
 				return nil, fmt.Errorf("compress: isobar plane %d: %w", p, err)
 			}
@@ -118,7 +130,6 @@ func (c *Isobar) DecodeFloats(data []byte, dst []float64) ([]float64, error) {
 		default:
 			return nil, fmt.Errorf("compress: isobar plane %d: bad flag %d", p, flag)
 		}
-		want := int(count) * plod.PlaneWidth(p)
 		if len(planes[p]) != want {
 			return nil, fmt.Errorf("compress: isobar plane %d: %d bytes, want %d", p, len(planes[p]), want)
 		}

@@ -61,6 +61,20 @@ func (z *Zlib) EncodeBytes(src []byte) ([]byte, error) {
 
 // DecodeBytes implements ByteCodec.
 func (z *Zlib) DecodeBytes(data []byte, dst []byte) ([]byte, error) {
+	return z.decode(data, dst, -1)
+}
+
+// DecodeBytesMax is DecodeBytes with a ceiling on the decompressed
+// size: decoding fails once the output would exceed max bytes.
+// Decoders of untrusted streams use it so a small corrupt payload
+// cannot balloon into an unbounded allocation (a zlib bomb) — the
+// caller always knows how many bytes a well-formed stream may hold.
+func (z *Zlib) DecodeBytesMax(data []byte, dst []byte, max int64) ([]byte, error) {
+	return z.decode(data, dst, max)
+}
+
+// decode inflates data appending to dst; max < 0 means unlimited.
+func (z *Zlib) decode(data []byte, dst []byte, max int64) ([]byte, error) {
 	var r io.ReadCloser
 	if pooled, ok := z.readers.Get().(io.ReadCloser); ok && pooled != nil {
 		if err := pooled.(zlib.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
@@ -75,10 +89,21 @@ func (z *Zlib) DecodeBytes(data []byte, dst []byte) ([]byte, error) {
 		}
 	}
 	buf := bytes.NewBuffer(dst)
-	if _, err := io.Copy(buf, r); err != nil {
+	src := io.Reader(r)
+	if max >= 0 {
+		// Read one byte past the limit so an over-long stream is
+		// detected rather than silently truncated.
+		src = io.LimitReader(r, max+1)
+	}
+	n, err := io.Copy(buf, src)
+	if err != nil {
 		// The decode error takes precedence over any close error.
 		_ = r.Close() //mlocvet:ignore uncheckederr
 		return nil, fmt.Errorf("compress: zlib decode: %w", err)
+	}
+	if max >= 0 && n > max {
+		_ = r.Close() //mlocvet:ignore uncheckederr
+		return nil, fmt.Errorf("compress: zlib output exceeds %d-byte limit", max)
 	}
 	if err := r.Close(); err != nil {
 		return nil, fmt.Errorf("compress: zlib close: %w", err)

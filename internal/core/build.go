@@ -68,12 +68,16 @@ func BuildWithSample(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shap
 	// chunk's points (level V membership).
 	cpu0 := time.Now()
 	var chunkBuf []float64
+	// The header arrays are reused across chunks; the per-bin slices
+	// they point at escape into rawUnits, so they reset to nil (not
+	// [:0]) each iteration.
+	local := make([][]int32, nbins)
+	localV := make([][]float64, nbins)
 	for _, chunkID := range order {
 		chunkBuf = chunks.ExtractChunk(data, chunkID, chunkBuf[:0])
-		var local [][]int32
-		var localV [][]float64
-		local = make([][]int32, nbins)
-		localV = make([][]float64, nbins)
+		for b := range local {
+			local[b], localV[b] = nil, nil
+		}
 		for off, v := range chunkBuf {
 			b := scheme.BinOf(v)
 			local[b] = append(local[b], int32(off))

@@ -87,7 +87,7 @@ func (o Order) PlanesBeforeChunks() bool {
 
 // ParseOrder parses "V-M-S" / "VMS" style strings.
 func ParseOrder(s string) (Order, error) {
-	var o Order
+	o := make(Order, 0, len(s))
 	for i := 0; i < len(s); i++ {
 		if s[i] == '-' {
 			continue

@@ -107,6 +107,7 @@ func (s *Store) planTasks(req *query.Request) ([]task, int) {
 	var sel []binSel
 	if req.VC != nil {
 		aligned, mis := s.scheme.SelectBins(*req.VC)
+		sel = make([]binSel, 0, len(aligned)+len(mis))
 		for _, b := range aligned {
 			sel = append(sel, binSel{bin: b})
 		}
@@ -115,6 +116,7 @@ func (s *Store) planTasks(req *query.Request) ([]task, int) {
 		}
 		sort.Slice(sel, func(i, j int) bool { return sel[i].bin < sel[j].bin })
 	} else {
+		sel = make([]binSel, 0, len(s.meta.bins))
 		for b := range s.meta.bins {
 			sel = append(sel, binSel{bin: b})
 		}
@@ -130,7 +132,11 @@ func (s *Store) planTasks(req *query.Request) ([]task, int) {
 		}
 	}
 
-	var tasks []task
+	maxTasks := 0
+	for _, bs := range sel {
+		maxTasks += len(s.meta.bins[bs.bin].units)
+	}
+	tasks := make([]task, 0, maxTasks)
 	binsTouched := 0
 	for _, bs := range sel {
 		bm := &s.meta.bins[bs.bin]
@@ -262,7 +268,11 @@ func (s *Store) processBin(ctx context.Context, clk *pfs.Clock, tasks []task, re
 		if err := s.fs.Open(clk, dataPath); err != nil {
 			return err
 		}
-		var dataExtents []extent
+		maxExtents := len(tasks)
+		if s.meta.mode == ModePlanes {
+			maxExtents *= nPlanes
+		}
+		dataExtents := make([]extent, 0, maxExtents)
 		for i, t := range tasks {
 			if !t.needData || (cached != nil && cached[i] != nil) {
 				continue
@@ -578,7 +588,7 @@ func readCoalesced(fs *pfs.Sim, clk *pfs.Clock, path string, extents []extent) (
 	maxGap := fs.CoalesceGap()
 	sorted := append([]extent(nil), extents...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].off < sorted[j].off })
-	var merged []extent
+	merged := make([]extent, 0, len(sorted))
 	cur := sorted[0]
 	for _, e := range sorted[1:] {
 		if e.length == 0 {

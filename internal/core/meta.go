@@ -58,7 +58,13 @@ const metaMagic = uint32(0x4d4c4f43) // "MLOC"
 // little-endian encoding; all experiments count its length as index
 // overhead so it must stay compact (offsets are varints).
 func (m *storeMeta) marshal() []byte {
-	var out []byte
+	nunits := 0
+	for i := range m.bins {
+		nunits += len(m.bins[i].units)
+	}
+	// Rough capacity: fixed header plus bounds plus each unit's varints
+	// (chunk delta, count, offsets, up to NumPlanes piece extents).
+	out := make([]byte, 0, 64+8*len(m.binBounds)+64*nunits)
 	out = binary.LittleEndian.AppendUint32(out, metaMagic)
 	out = appendUvarint(out, uint64(len(m.shape)))
 	for _, d := range m.shape {
@@ -163,9 +169,11 @@ func unmarshalStoreMeta(data []byte) (*storeMeta, error) {
 			u := &bm.units[j]
 			u.chunkID = prevChunk + r.varint()
 			prevChunk = u.chunkID
-			u.count = int32(r.uvarint())
-			u.indexOff = int64(r.uvarint())
-			u.indexLen = int64(r.uvarint())
+			// Counts and extents size allocations and seed file reads;
+			// cap them so the narrowing conversions cannot go negative.
+			u.count = int32(r.uvarintMax(math.MaxInt32))
+			u.indexOff = int64(r.uvarintMax(math.MaxInt64))
+			u.indexLen = int64(r.uvarintMax(math.MaxInt64))
 			u.rawPlanes = r.u8()
 			np := int(r.uvarint())
 			if np < 0 || np > r.remaining()/2 || np > 64 {
@@ -175,8 +183,8 @@ func unmarshalStoreMeta(data []byte) (*storeMeta, error) {
 			u.pieceOff = make([]int64, np)
 			u.pieceLen = make([]int64, np)
 			for p := 0; p < np; p++ {
-				u.pieceOff[p] = int64(r.uvarint())
-				u.pieceLen[p] = int64(r.uvarint())
+				u.pieceOff[p] = int64(r.uvarintMax(math.MaxInt64))
+				u.pieceLen[p] = int64(r.uvarintMax(math.MaxInt64))
 			}
 			bm.unitByChunk[u.chunkID] = j
 			bm.indexSize += u.indexLen
@@ -255,14 +263,28 @@ func (r *byteReader) varint() int64 {
 }
 
 func (r *byteReader) str() string {
+	// The length is untrusted: a uvarint above MaxInt64 wraps int()
+	// negative, and a huge positive one overflows r.pos+n — compare
+	// against the remaining bytes instead, which bounds both.
 	n := int(r.uvarint())
-	if r.err != nil || r.pos+n > len(r.data) {
+	if r.err != nil || n < 0 || n > len(r.data)-r.pos {
 		r.fail()
 		return ""
 	}
 	s := string(r.data[r.pos : r.pos+n])
 	r.pos += n
 	return s
+}
+
+// uvarintMax reads a uvarint and fails the decode when it exceeds max,
+// so narrowing conversions on the caller's side cannot wrap negative.
+func (r *byteReader) uvarintMax(max uint64) uint64 {
+	v := r.uvarint()
+	if r.err == nil && v > max {
+		r.err = fmt.Errorf("varint %d exceeds limit %d at %d", v, max, r.pos) //mlocvet:ignore errprefix
+		return 0
+	}
+	return v
 }
 
 func (r *byteReader) fail() {

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// metaBytes builds the common header of a serialized store meta up
+// through compPlanes, so each case below only appends the section it
+// wants to corrupt.
+func metaBytes() []byte {
+	out := binary.LittleEndian.AppendUint32(nil, metaMagic)
+	out = appendUvarint(out, 1) // dims
+	out = appendUvarint(out, 4) // shape[0]
+	out = appendUvarint(out, 2) // chunkSize[0]
+	out = appendString(out, "V-M-S")
+	out = appendString(out, "hilbert")
+	out = appendString(out, string(ModePlanes))
+	out = appendString(out, "zlib")
+	out = appendUvarint(out, 7) // compPlanes
+	return out
+}
+
+// TestMetaRejectsOversizedDeclarations feeds the meta decoder streams
+// whose declared counts vastly exceed what the remaining bytes could
+// encode. Every count in the format sizes an allocation, so each must
+// fail cleanly instead of allocating by the declared size or wrapping
+// an int conversion negative.
+func TestMetaRejectsOversizedDeclarations(t *testing.T) {
+	huge := uint64(1) << 60
+	// unitPrefix declares one bin with one unit and stops right before
+	// the field each case wants to poison.
+	unitPrefix := func() []byte {
+		out := appendUvarint(metaBytes(), 0) // no bin bounds
+		out = appendUvarint(out, 1)          // one bin
+		out = appendUvarint(out, 1)          // one unit
+		out = binary.AppendVarint(out, 0)    // chunk delta
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"dims bomb", appendUvarint(binary.LittleEndian.AppendUint32(nil, metaMagic), huge)},
+		{"string length wrap", appendUvarint(appendUvarint(appendUvarint(binary.LittleEndian.AppendUint32(nil, metaMagic), 1), 4), 1<<63)},
+		{"bin bounds bomb", appendUvarint(metaBytes(), huge)},
+		{"bin count bomb", appendUvarint(appendUvarint(metaBytes(), 0), huge)},
+		{"unit count bomb", appendUvarint(appendUvarint(appendUvarint(metaBytes(), 0), 1), huge)},
+		{"point count wrap", appendUvarint(unitPrefix(), 1<<40)},
+		{"index offset wrap", appendUvarint(appendUvarint(unitPrefix(), 1), 1<<63)},
+		{"piece count bomb",
+			appendUvarint(
+				append(appendUvarint(appendUvarint(appendUvarint(unitPrefix(),
+					1), // count
+					0), // indexOff
+					0), // indexLen
+					0), // rawPlanes
+				huge)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := unmarshalStoreMeta(tc.data)
+			if err == nil {
+				t.Fatalf("decoder accepted oversized declaration: %+v", m)
+			}
+		})
+	}
+}

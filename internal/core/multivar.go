@@ -288,7 +288,11 @@ func (s *Store) fetchRank(ctx context.Context, clk *pfs.Clock, tasks []task, pos
 			if err := s.fs.Open(clk, dataPath); err != nil {
 				return err
 			}
-			var dataExtents []extent
+			maxExtents := len(hits)
+			if s.meta.mode == ModePlanes {
+				maxExtents *= plod.NumPlanes
+			}
+			dataExtents := make([]extent, 0, maxExtents)
 			for i, h := range hits {
 				if cached[i] != nil {
 					continue

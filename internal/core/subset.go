@@ -218,7 +218,11 @@ func (s *SubsetStore) ReadLevel(level int, ranks int) (*SubsetResult, error) {
 		idx   int
 		start int64 // cumulative point offset within the level
 	}
-	var tasks []blockTask
+	nblocks := 0
+	for lvl := 0; lvl <= level; lvl++ {
+		nblocks += len(s.levels[lvl].blocks)
+	}
+	tasks := make([]blockTask, 0, nblocks)
 	for lvl := 0; lvl <= level; lvl++ {
 		var cum int64
 		for i, b := range s.levels[lvl].blocks {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"mloc/internal/plod"
 	"mloc/internal/query"
 )
 
@@ -128,7 +129,7 @@ func Figure8(p Params) (*TableResult, error) {
 			return nil, err
 		}
 		label := fmt.Sprintf("level %d", level)
-		if level == 7 {
+		if level == plod.MaxLevel {
 			label = "full"
 		}
 		t.Rows = append(t.Rows, []string{

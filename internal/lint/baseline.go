@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Baseline is a snapshot of accepted findings, keyed by (file,
+// analyzer, message) with an occurrence count. Line numbers are
+// deliberately excluded so unrelated edits that shift a finding do not
+// break the gate; only a NEW finding — a key whose count exceeds the
+// snapshot — fails CI.
+type Baseline struct {
+	// Version guards the file format.
+	Version int `json:"version"`
+	// Findings are the accepted findings, sorted by key.
+	Findings []BaselineFinding `json:"findings"`
+}
+
+// BaselineFinding is one accepted (file, analyzer, message) group.
+type BaselineFinding struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Count    int    `json:"count"`
+}
+
+// baselineVersion is the current file-format version.
+const baselineVersion = 1
+
+// baselineKey groups diagnostics for counting.
+type baselineKey struct {
+	file, analyzer, message string
+}
+
+func keyOf(d Diagnostic) baselineKey {
+	return baselineKey{
+		file:     filepath.ToSlash(d.Pos.Filename),
+		analyzer: d.Analyzer,
+		message:  d.Message,
+	}
+}
+
+// NewBaseline snapshots the given diagnostics.
+func NewBaseline(diags []Diagnostic) *Baseline {
+	counts := make(map[baselineKey]int)
+	for _, d := range diags {
+		counts[keyOf(d)]++
+	}
+	b := &Baseline{Version: baselineVersion}
+	for k, n := range counts {
+		b.Findings = append(b.Findings, BaselineFinding{
+			File: k.file, Analyzer: k.analyzer, Message: k.message, Count: n,
+		})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// New returns the diagnostics not covered by the baseline: for each
+// (file, analyzer, message) group, occurrences beyond the snapshot
+// count. Within a group the later positions are the ones reported.
+func (b *Baseline) New(diags []Diagnostic) []Diagnostic {
+	budget := make(map[baselineKey]int, len(b.Findings))
+	for _, f := range b.Findings {
+		budget[baselineKey{file: f.File, analyzer: f.Analyzer, message: f.Message}] = f.Count
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := keyOf(d)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// WriteBaseline serializes the baseline as indented JSON.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses a baseline file, rejecting unknown versions.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("lint: baseline version %d (want %d); regenerate it", b.Version, baselineVersion)
+	}
+	return &b, nil
+}

@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// sharedConst is one registry entry: a magic value that the repository
+// defines exactly once as a named constant.
+type sharedConst struct {
+	// value is the literal's numeric value.
+	value uint64
+	// hexOnly restricts matching to hexadecimal spellings, so decimal
+	// loop bounds that happen to share the value stay quiet.
+	hexOnly bool
+	// noMask skips occurrences used as bitwise-operator operands:
+	// 0x7F as a varint continuation mask is not the PLoD fill byte.
+	noMask bool
+	// context, when non-empty, requires a nearby identifier (the other
+	// comparison operand or the assignment target) whose lowercase name
+	// contains this substring.
+	context string
+	// canonical is the import-path suffix of the package that declares
+	// the constant; occurrences inside it are the definition, not a
+	// duplicate.
+	canonical string
+	// constName is the named constant a duplicate should reference.
+	constName string
+}
+
+// sharedConsts is the registry of magic values with a single canonical
+// home. When one of these literals reappears elsewhere it silently
+// re-encodes a format decision — the PLoD fill bytes, the level split,
+// the metadata magic — that must change in exactly one place.
+// The registry restates each value by necessity, so each entry
+// suppresses its own finding.
+var sharedConsts = []sharedConst{
+	{value: 0x7F, hexOnly: true, noMask: true, canonical: "internal/plod", constName: "plod.FillByteFirst"}, //mlocvet:ignore constshare
+	{value: 0xFF, hexOnly: true, noMask: true, canonical: "internal/plod", constName: "plod.FillByteRest"},  //mlocvet:ignore constshare
+	{value: 0x4d4c4f43, canonical: "internal/core", constName: "core's metaMagic"},                          //mlocvet:ignore constshare
+	{value: 7, context: "level", canonical: "internal/plod", constName: "plod.MaxLevel"},
+	{value: 7, context: "plod", canonical: "internal/plod", constName: "plod.MaxLevel"},
+}
+
+// ConstShare flags integer literals that duplicate a registered shared
+// constant outside its canonical package. See sharedConsts for the
+// registry and the rationale.
+var ConstShare = &Analyzer{
+	Name: "constshare",
+	Doc:  "magic literals with a canonical named constant must reference it, not restate it",
+	Run:  runConstShare,
+}
+
+func runConstShare(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		parents := make(map[ast.Node]ast.Node)
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if len(stack) > 0 {
+				parents[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			if lit, ok := n.(*ast.BasicLit); ok && lit.Kind == token.INT {
+				checkLiteral(p, lit, parents)
+			}
+			return true
+		})
+	}
+}
+
+// checkLiteral matches one integer literal against the registry.
+func checkLiteral(p *Pass, lit *ast.BasicLit, parents map[ast.Node]ast.Node) {
+	v, err := strconv.ParseUint(lit.Value, 0, 64)
+	if err != nil {
+		return
+	}
+	hex := strings.HasPrefix(lit.Value, "0x") || strings.HasPrefix(lit.Value, "0X")
+	for _, sc := range sharedConsts {
+		if sc.value != v {
+			continue
+		}
+		if sc.hexOnly && !hex {
+			continue
+		}
+		if pathHasSuffix(p.Pkg.Path, sc.canonical) {
+			continue // the definition site
+		}
+		if sc.noMask && inMaskContext(lit, parents) {
+			continue
+		}
+		if sc.context != "" && !hasNameContext(lit, parents, sc.context) {
+			continue
+		}
+		p.Reportf(lit.Pos(),
+			"magic literal %s duplicates %s; reference the named constant",
+			lit.Value, sc.constName)
+		return
+	}
+}
+
+// inMaskContext reports whether the literal is an operand of a bitwise
+// operator (mask or shift), where sharing a value with a format
+// constant is coincidence, not duplication.
+func inMaskContext(lit *ast.BasicLit, parents map[ast.Node]ast.Node) bool {
+	for n := parents[lit]; n != nil; n = parents[n] {
+		switch p := n.(type) {
+		case *ast.BinaryExpr:
+			switch p.Op {
+			case token.AND, token.OR, token.XOR, token.AND_NOT, token.SHL, token.SHR:
+				return true
+			}
+			return false
+		case *ast.UnaryExpr:
+			return p.Op == token.XOR
+		case *ast.ParenExpr, *ast.CallExpr:
+			continue
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// hasNameContext reports whether the literal sits in a comparison or
+// assignment whose other side names something containing sub
+// (case-insensitive) — how "7" is recognized as a PLoD level bound
+// rather than an unrelated count.
+func hasNameContext(lit *ast.BasicLit, parents map[ast.Node]ast.Node, sub string) bool {
+	var prev ast.Node = lit
+	for n := parents[lit]; n != nil; prev, n = n, parents[n] {
+		switch p := n.(type) {
+		case *ast.ParenExpr:
+			continue
+		case *ast.UnaryExpr:
+			continue
+		case *ast.BinaryExpr:
+			switch p.Op {
+			case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+				other := p.X
+				if other == prev {
+					other = p.Y
+				}
+				return exprMentions(other, sub)
+			}
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if exprMentions(lhs, sub) {
+					return true
+				}
+			}
+			return false
+		case *ast.ValueSpec:
+			for _, name := range p.Names {
+				if strings.Contains(strings.ToLower(name.Name), sub) {
+					return true
+				}
+			}
+			return false
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// exprMentions reports whether any identifier in e contains sub
+// (case-insensitive).
+func exprMentions(e ast.Expr, sub string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok &&
+			strings.Contains(strings.ToLower(id.Name), sub) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

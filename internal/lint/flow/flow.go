@@ -1,0 +1,193 @@
+// Package flow is the shared flow-analysis infrastructure of mlocvet's
+// second-generation analyzers: a go/types-based static call graph over
+// every loaded package plus a structured per-function statement walk
+// that tracks which mutexes are held at each point.
+//
+// The package deliberately mirrors internal/lint's constraints — only
+// the standard library (go/ast, go/token, go/types) — and deliberately
+// does NOT import internal/lint, so the dependency arrow runs
+// lint → flow and the analyzers in internal/lint can build on both.
+//
+// The analyses are intentionally approximate in the usual linter way:
+//
+//   - The call graph is static: only calls that resolve to a named
+//     *types.Func (direct calls, method calls on concrete receivers)
+//     produce edges; calls through interfaces or function values do
+//     not.
+//   - The held-lock walk is a structured must-hold analysis: branches
+//     merge by intersection, branches that terminate (return, panic,
+//     break/continue, or a select/switch whose every arm terminates)
+//     do not merge, and deferred unlocks are treated as keeping the
+//     lock held to the end of the function.
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PackageInfo is flow's view of one loaded, type-checked package. It
+// mirrors internal/lint's Package without importing it.
+type PackageInfo struct {
+	// Path is the package's import path.
+	Path string
+	// Fset is the shared file set.
+	Fset *token.FileSet
+	// Files are the parsed non-test files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info carries the type checker's facts.
+	Info *types.Info
+}
+
+// FuncInfo is one function or method declaration with a body, plus its
+// statically resolved callees.
+type FuncInfo struct {
+	// Pkg is the declaring package.
+	Pkg *PackageInfo
+	// Decl is the declaration (Body is non-nil).
+	Decl *ast.FuncDecl
+	// Obj is the type checker's object for the function.
+	Obj *types.Func
+	// Callees lists the statically resolved called functions, in
+	// source order, possibly with duplicates.
+	Callees []*types.Func
+}
+
+// Program is the whole-program view the flow-aware analyzers share.
+type Program struct {
+	// Fset is the shared file set.
+	Fset *token.FileSet
+	// Pkgs are the analyzed packages in load order.
+	Pkgs []*PackageInfo
+	// Funcs indexes every declared function with a body.
+	Funcs map[*types.Func]*FuncInfo
+}
+
+// BuildProgram resolves the static call graph over pkgs.
+func BuildProgram(pkgs []*PackageInfo) *Program {
+	p := &Program{Funcs: make(map[*types.Func]*FuncInfo)}
+	if len(pkgs) > 0 {
+		p.Fset = pkgs[0].Fset
+	}
+	p.Pkgs = pkgs
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				fi := &FuncInfo{Pkg: pkg, Decl: fd, Obj: obj}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := CalleeOf(pkg.Info, call); callee != nil {
+						fi.Callees = append(fi.Callees, callee)
+					}
+					return true
+				})
+				p.Funcs[obj] = fi
+			}
+		}
+	}
+	return p
+}
+
+// CalleeOf resolves a call expression to the called named function, or
+// nil when the callee is dynamic (interface method value, function
+// value, conversion, builtin).
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// Reachable returns the set of declared functions transitively callable
+// from `from` (excluding `from` itself unless it is recursive).
+func (p *Program) Reachable(from *types.Func) map[*types.Func]bool {
+	seen := make(map[*types.Func]bool)
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		fi := p.Funcs[fn]
+		if fi == nil {
+			return
+		}
+		for _, c := range fi.Callees {
+			if !seen[c] {
+				seen[c] = true
+				visit(c)
+			}
+		}
+	}
+	visit(from)
+	return seen
+}
+
+// FuncOf returns the enclosing declared function of a node position
+// within pkg, or nil for package-level code.
+func FuncOf(pkg *PackageInfo, pos token.Pos) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil &&
+				pos >= fd.Pos() && pos <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// QualifiedName renders a function as pkg.Recv.Name for diagnostics.
+func QualifiedName(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	if recv := recvTypeName(fn); recv != "" {
+		return fmt.Sprintf("%s.%s.%s", fn.Pkg().Path(), recv, fn.Name())
+	}
+	return fmt.Sprintf("%s.%s", fn.Pkg().Path(), fn.Name())
+}
+
+// recvTypeName returns the receiver's base type name, or "".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

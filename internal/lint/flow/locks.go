@@ -1,0 +1,612 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// LockClass identifies one mutex "class": a struct field or variable of
+// type sync.Mutex / sync.RWMutex (possibly behind a pointer). Two
+// instances of the same field (e.g. two cache shards' mu) share a
+// class — acquisition-order analysis is about classes, not instances.
+type LockClass struct {
+	// Obj is the field or variable object declaring the mutex.
+	Obj types.Object
+	// Name renders the class for diagnostics (pkg.Type.field).
+	Name string
+}
+
+// LockOp is one lock or unlock call site.
+type LockOp struct {
+	// Class is the mutex class operated on.
+	Class *LockClass
+	// Call is the Lock/RLock/Unlock/RUnlock call.
+	Call *ast.CallExpr
+	// Acquire is true for Lock/RLock, false for Unlock/RUnlock.
+	Acquire bool
+	// Read is true for RLock/RUnlock.
+	Read bool
+}
+
+// lockClasses canonicalizes LockClass values per object so analyzers
+// can compare classes by pointer.
+type lockClasses struct {
+	byObj map[types.Object]*LockClass
+}
+
+func newLockClasses() *lockClasses {
+	return &lockClasses{byObj: make(map[types.Object]*LockClass)}
+}
+
+func (lc *lockClasses) classFor(obj types.Object) *LockClass {
+	if c, ok := lc.byObj[obj]; ok {
+		return c
+	}
+	name := obj.Name()
+	if obj.Pkg() != nil {
+		if owner := fieldOwner(obj); owner != "" {
+			name = obj.Pkg().Path() + "." + owner + "." + obj.Name()
+		} else {
+			name = obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	c := &LockClass{Obj: obj, Name: name}
+	lc.byObj[obj] = c
+	return c
+}
+
+// fieldOwner returns the name of the struct type declaring a field
+// object, or "" when obj is not a struct field. The type checker does
+// not link fields back to their named type, so the declaring package's
+// scope is searched.
+func fieldOwner(obj types.Object) string {
+	v, ok := obj.(*types.Var)
+	if !ok || !v.IsField() || obj.Pkg() == nil {
+		return ""
+	}
+	scope := obj.Pkg().Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i) == obj {
+				return tn.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// isSyncLocker reports whether t (after stripping pointers) is
+// sync.Mutex or sync.RWMutex.
+func isSyncLocker(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// lockOpOf recognizes x.mu.Lock() / Unlock() / RLock() / RUnlock()
+// calls and returns the operation, or nil.
+func (lc *lockClasses) lockOpOf(info *types.Info, call *ast.CallExpr) *LockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	var acquire, read bool
+	switch sel.Sel.Name {
+	case "Lock":
+		acquire = true
+	case "RLock":
+		acquire, read = true, true
+	case "Unlock":
+	case "RUnlock":
+		read = true
+	default:
+		return nil
+	}
+	recv := ast.Unparen(sel.X)
+	if !isSyncLocker(info.TypeOf(recv)) {
+		return nil
+	}
+	obj := baseObject(info, recv)
+	if obj == nil {
+		return nil
+	}
+	return &LockOp{Class: lc.classFor(obj), Call: call, Acquire: acquire, Read: read}
+}
+
+// baseObject resolves the mutex-valued expression to its declaring
+// object: the field for p.mu / s.shard.mu, the variable for a plain
+// mu. Returns nil for expressions with no stable identity (map index,
+// function result).
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[e.Sel]
+	case *ast.StarExpr:
+		return baseObject(info, e.X)
+	case *ast.IndexExpr:
+		return baseObject(info, e.X)
+	}
+	return nil
+}
+
+// HeldVisit receives each expression-level node of a function body
+// together with the set of lock classes held at that point (must-hold:
+// held on every path reaching the node).
+type HeldVisit func(n ast.Node, held []*LockClass)
+
+// LockFacts aggregates per-function lock behavior across a Program.
+type LockFacts struct {
+	prog    *Program
+	classes *lockClasses
+	// direct[f] is the set of classes f locks directly.
+	direct map[*types.Func]map[*LockClass]bool
+	// acquires[f] is the transitive closure: classes f or anything it
+	// calls may lock.
+	acquires map[*types.Func]map[*LockClass]bool
+}
+
+// BuildLockFacts scans every declared function for direct lock
+// operations and closes the acquisition sets over the call graph.
+func BuildLockFacts(prog *Program) *LockFacts {
+	lf := &LockFacts{
+		prog:     prog,
+		classes:  newLockClasses(),
+		direct:   make(map[*types.Func]map[*LockClass]bool),
+		acquires: make(map[*types.Func]map[*LockClass]bool),
+	}
+	for fn, fi := range prog.Funcs {
+		set := make(map[*LockClass]bool)
+		ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if op := lf.classes.lockOpOf(fi.Pkg.Info, call); op != nil && op.Acquire {
+				set[op.Class] = true
+			}
+			return true
+		})
+		lf.direct[fn] = set
+	}
+	// Fixpoint over the call graph.
+	for changed := true; changed; {
+		changed = false
+		for fn, fi := range prog.Funcs {
+			acq := lf.acquires[fn]
+			if acq == nil {
+				acq = make(map[*LockClass]bool, len(lf.direct[fn]))
+				lf.acquires[fn] = acq
+			}
+			for c := range lf.direct[fn] {
+				if !acq[c] {
+					acq[c] = true
+					changed = true
+				}
+			}
+			for _, callee := range fi.Callees {
+				for c := range lf.acquires[callee] {
+					if !acq[c] {
+						acq[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return lf
+}
+
+// Acquires returns the classes fn may (transitively) acquire.
+func (lf *LockFacts) Acquires(fn *types.Func) map[*LockClass]bool {
+	return lf.acquires[fn]
+}
+
+// LockOpOf exposes lock-call recognition to analyzers sharing these
+// facts (canonicalized to the same class pointers).
+func (lf *LockFacts) LockOpOf(info *types.Info, call *ast.CallExpr) *LockOp {
+	return lf.classes.lockOpOf(info, call)
+}
+
+// heldState is the walker's running must-hold set.
+type heldState map[*LockClass]bool
+
+func (h heldState) clone() heldState {
+	c := make(heldState, len(h))
+	for k, v := range h {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only classes held in both states.
+func (h heldState) intersect(o heldState) heldState {
+	out := make(heldState)
+	for k := range h {
+		if o[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (h heldState) sorted() []*LockClass {
+	out := make([]*LockClass, 0, len(h))
+	for c := range h {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// WalkHeld performs the structured must-hold walk over fn's body,
+// invoking visit on every expression statement's nodes with the lock
+// classes held at that point. Function literals are walked with the
+// held set at their creation point (a sound approximation for the
+// immediately-invoked closures this codebase uses; deferred closures
+// conservatively start empty).
+func (lf *LockFacts) WalkHeld(fi *FuncInfo, visit HeldVisit) {
+	w := &heldWalker{facts: lf, info: fi.Pkg.Info, visit: visit}
+	w.walkStmts(fi.Decl.Body.List, make(heldState))
+}
+
+type heldWalker struct {
+	facts *LockFacts
+	info  *types.Info
+	visit HeldVisit
+}
+
+// walkStmts walks a statement list, threading the held set through in
+// source order, and returns the fall-through state.
+func (w *heldWalker) walkStmts(list []ast.Stmt, held heldState) heldState {
+	for _, s := range list {
+		held = w.walkStmt(s, held)
+	}
+	return held
+}
+
+// terminates reports whether a statement list never falls through.
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	return stmtTerminates(list[len(list)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body.List) && stmtTerminates(s.Else)
+	case *ast.SelectStmt:
+		if len(s.Body.List) == 0 {
+			return false
+		}
+		for _, cl := range s.Body.List {
+			if !terminates(cl.(*ast.CommClause).Body) {
+				return false
+			}
+		}
+		return true
+	case *ast.SwitchStmt:
+		return switchTerminates(s.Body, true)
+	case *ast.TypeSwitchStmt:
+		return switchTerminates(s.Body, true)
+	case *ast.ForStmt:
+		// for{} with no break could be non-terminating, but assume
+		// fall-through (safe direction for must-hold).
+		return false
+	}
+	return false
+}
+
+// switchTerminates reports whether every case of a switch terminates
+// and a default case exists (otherwise the zero-match path falls
+// through).
+func switchTerminates(body *ast.BlockStmt, needDefault bool) bool {
+	hasDefault := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			return false
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if !terminates(cc.Body) {
+			return false
+		}
+	}
+	return hasDefault || !needDefault
+}
+
+// walkStmt processes one statement and returns the fall-through held
+// state.
+func (w *heldWalker) walkStmt(s ast.Stmt, held heldState) heldState {
+	switch s := s.(type) {
+	case nil:
+		return held
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, held)
+	case *ast.ExprStmt:
+		return w.walkExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			held = w.walkExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			held = w.walkExpr(e, held)
+		}
+		return held
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						held = w.walkExpr(v, held)
+					}
+				}
+			}
+		}
+		return held
+	case *ast.IncDecStmt:
+		return w.walkExpr(s.X, held)
+	case *ast.SendStmt:
+		held = w.walkExpr(s.Value, held)
+		return w.walkExpr(s.Chan, held)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			held = w.walkExpr(e, held)
+		}
+		return held
+	case *ast.DeferStmt:
+		// A deferred x.mu.Unlock() keeps the lock held to function
+		// end: do not change the held set. Deferred closures run in an
+		// unknown lock context; walk them from empty.
+		if op := w.facts.classes.lockOpOf(w.info, s.Call); op == nil {
+			if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+				w.walkStmts(fl.Body.List, make(heldState))
+			} else {
+				held = w.walkCallArgs(s.Call, held)
+			}
+		}
+		return held
+	case *ast.GoStmt:
+		// A spawned goroutine runs without the spawner's locks.
+		if fl, ok := ast.Unparen(s.Call.Fun).(*ast.FuncLit); ok {
+			w.walkStmts(fl.Body.List, make(heldState))
+		} else {
+			held = w.walkCallArgs(s.Call, held)
+		}
+		return held
+	case *ast.IfStmt:
+		held = w.walkStmt(s.Init, held)
+		held = w.walkExpr(s.Cond, held)
+		thenOut := w.walkStmts(s.Body.List, held.clone())
+		var elseOut heldState
+		elseTerm := false
+		if s.Else != nil {
+			elseOut = w.walkStmt(s.Else, held.clone())
+			elseTerm = stmtTerminates(s.Else)
+		} else {
+			elseOut = held
+		}
+		thenTerm := terminates(s.Body.List)
+		switch {
+		case thenTerm && elseTerm:
+			return held // unreachable fall-through; keep entry set
+		case thenTerm:
+			return elseOut
+		case elseTerm:
+			return thenOut
+		default:
+			return thenOut.intersect(elseOut)
+		}
+	case *ast.ForStmt:
+		held = w.walkStmt(s.Init, held)
+		if s.Cond != nil {
+			held = w.walkExpr(s.Cond, held)
+		}
+		out := w.walkStmts(s.Body.List, held.clone())
+		w.walkStmt(s.Post, out)
+		// Loops are assumed lock-balanced; fall through with the
+		// intersection of zero and one iteration.
+		return held.intersect(out)
+	case *ast.RangeStmt:
+		held = w.walkExpr(s.X, held)
+		out := w.walkStmts(s.Body.List, held.clone())
+		return held.intersect(out)
+	case *ast.SwitchStmt:
+		held = w.walkStmt(s.Init, held)
+		if s.Tag != nil {
+			held = w.walkExpr(s.Tag, held)
+		}
+		return w.walkClauses(s.Body, held)
+	case *ast.TypeSwitchStmt:
+		held = w.walkStmt(s.Init, held)
+		held = w.walkStmt(s.Assign, held)
+		return w.walkClauses(s.Body, held)
+	case *ast.SelectStmt:
+		merged := heldState(nil)
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			in := held.clone()
+			in = w.walkStmt(cc.Comm, in)
+			out := w.walkStmts(cc.Body, in)
+			if terminates(cc.Body) {
+				continue
+			}
+			if merged == nil {
+				merged = out
+			} else {
+				merged = merged.intersect(out)
+			}
+		}
+		if merged == nil {
+			return held
+		}
+		return merged
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	}
+	return held
+}
+
+// walkClauses merges the fall-through states of switch cases.
+func (w *heldWalker) walkClauses(body *ast.BlockStmt, held heldState) heldState {
+	merged := heldState(nil)
+	hasDefault := false
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		in := held.clone()
+		for _, e := range cc.List {
+			in = w.walkExpr(e, in)
+		}
+		out := w.walkStmts(cc.Body, in)
+		if terminates(cc.Body) {
+			continue
+		}
+		if merged == nil {
+			merged = out
+		} else {
+			merged = merged.intersect(out)
+		}
+	}
+	if merged == nil || !hasDefault {
+		// No case falls through, or the zero-match path skips the
+		// whole switch: the entry state survives.
+		if merged == nil {
+			return held
+		}
+		return merged.intersect(held)
+	}
+	return merged
+}
+
+// walkExpr visits an expression tree in evaluation order, applying
+// lock transitions at Lock/Unlock calls and reporting every node to
+// the visitor with the current held set.
+func (w *heldWalker) walkExpr(e ast.Expr, held heldState) heldState {
+	if e == nil {
+		return held
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if op := w.facts.classes.lockOpOf(w.info, e); op != nil {
+			w.visit(e, held.sorted())
+			next := held.clone()
+			if op.Acquire {
+				next[op.Class] = true
+			} else {
+				delete(next, op.Class)
+			}
+			return next
+		}
+		held = w.walkCallArgs(e, held)
+		w.visit(e, held.sorted())
+		return held
+	case *ast.FuncLit:
+		// Immediately-created closures inherit the creation-point held
+		// set (see WalkHeld doc).
+		w.walkStmts(e.Body.List, held.clone())
+		return held
+	case *ast.BinaryExpr:
+		held = w.walkExpr(e.X, held)
+		held = w.walkExpr(e.Y, held)
+		w.visit(e, held.sorted())
+		return held
+	case *ast.UnaryExpr:
+		held = w.walkExpr(e.X, held)
+		w.visit(e, held.sorted())
+		return held
+	case *ast.ParenExpr:
+		return w.walkExpr(e.X, held)
+	case *ast.StarExpr:
+		held = w.walkExpr(e.X, held)
+		w.visit(e, held.sorted())
+		return held
+	case *ast.SelectorExpr:
+		held = w.walkExpr(e.X, held)
+		w.visit(e, held.sorted())
+		return held
+	case *ast.IndexExpr:
+		held = w.walkExpr(e.X, held)
+		held = w.walkExpr(e.Index, held)
+		w.visit(e, held.sorted())
+		return held
+	case *ast.SliceExpr:
+		held = w.walkExpr(e.X, held)
+		held = w.walkExpr(e.Low, held)
+		held = w.walkExpr(e.High, held)
+		held = w.walkExpr(e.Max, held)
+		w.visit(e, held.sorted())
+		return held
+	case *ast.TypeAssertExpr:
+		held = w.walkExpr(e.X, held)
+		w.visit(e, held.sorted())
+		return held
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			held = w.walkExpr(el, held)
+		}
+		w.visit(e, held.sorted())
+		return held
+	case *ast.KeyValueExpr:
+		held = w.walkExpr(e.Value, held)
+		return held
+	case *ast.Ident:
+		w.visit(e, held.sorted())
+		return held
+	}
+	w.visit(e, held.sorted())
+	return held
+}
+
+// walkCallArgs walks a non-lock call's function and arguments.
+func (w *heldWalker) walkCallArgs(call *ast.CallExpr, held heldState) heldState {
+	held = w.walkExpr(call.Fun, held)
+	for _, a := range call.Args {
+		held = w.walkExpr(a, held)
+	}
+	return held
+}

@@ -1,0 +1,370 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// hotPkgs are the decode/layout hot paths where per-element work runs
+// millions of times per query; an avoidable allocation inside their
+// loops multiplies into GC pressure that shows up directly in the
+// paper's retrieval-latency numbers.
+var hotPkgs = []string{
+	"internal/plod",
+	"internal/compress",
+	"internal/sfc",
+	"internal/core",
+	"internal/cache",
+	"hotalloc", // golden-test fixture
+}
+
+// HotAlloc flags avoidable per-iteration allocations in the hot-path
+// packages:
+//
+//   - an unconditional `x = make(...)` to a plain local whose size
+//     arguments do not change across iterations (hoist the buffer out
+//     of the loop and reuse it); makes stored into indexed or field
+//     targets escape per iteration and are skipped;
+//   - a func literal created inside a loop whose every captured
+//     variable is loop-invariant — the closure is identical each
+//     iteration, so one allocation outside the loop serves them all;
+//   - an unconditional element append() growing a slice declared in
+//     the same function with no capacity (the trip count bounds the
+//     length; preallocate); spread appends (`buf...`) accumulate
+//     unknown sizes and are skipped.
+//
+// Per-iteration allocations that are genuinely required opt out with
+// //mlocvet:ignore hotalloc and a reason.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "hot-path loops must not allocate per iteration when the allocation is hoistable",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(p *Pass) {
+	hot := false
+	for _, suffix := range hotPkgs {
+		if pathHasSuffix(p.Pkg.Path, suffix) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			h := &hotWalker{
+				pass:     p,
+				info:     p.Pkg.Info,
+				noCap:    noCapSlices(p.Pkg.Info, fd.Body),
+				reported: make(map[ast.Node]bool),
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch loop := n.(type) {
+				case *ast.ForStmt:
+					h.checkLoop(loop.Body, loopVars(p.Pkg.Info, loop.Init, nil, nil, loop.Body))
+				case *ast.RangeStmt:
+					h.checkLoop(loop.Body, loopVars(p.Pkg.Info, nil, loop.Key, loop.Value, loop.Body))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// hotWalker carries one function's analysis state.
+type hotWalker struct {
+	pass *Pass
+	info *types.Info
+	// noCap maps slice variables declared without capacity in this
+	// function to their declaration position.
+	noCap map[types.Object]token.Pos
+	// reported dedups nodes seen by both an outer and an inner loop.
+	reported map[ast.Node]bool
+}
+
+// loopVars collects the objects whose value changes across iterations:
+// the loop's own variables plus everything assigned inside the body.
+func loopVars(info *types.Info, init ast.Stmt, key, value ast.Expr, body *ast.BlockStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	add := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				vars[obj] = true
+			} else if obj := info.Uses[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	if as, ok := init.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			add(lhs)
+		}
+	}
+	add(key)
+	add(value)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				add(lhs)
+			}
+		case *ast.ValueSpec:
+			// var declarations inside the body are re-created each
+			// iteration (and are out of scope outside the loop).
+			for _, name := range n.Names {
+				add(name)
+			}
+		case *ast.IncDecStmt:
+			add(n.X)
+		case *ast.UnaryExpr:
+			// &x lets the callee mutate x.
+			if n.Op == token.AND {
+				add(n.X)
+			}
+		}
+		return true
+	})
+	return vars
+}
+
+// checkLoop inspects one loop body for per-iteration allocations.
+// Makes and appends are checked only along the unconditional statement
+// chain — an allocation under an if is a deliberate lazy allocation —
+// while the hoistable-closure check covers the whole body.
+func (h *hotWalker) checkLoop(body *ast.BlockStmt, changing map[types.Object]bool) {
+	h.checkUnconditional(body.List, changing)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		// Nested loops re-run checkLoop with their own (larger) changing
+		// set; analyzing their bodies here would double-report.
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.FuncLit:
+			h.checkFuncLit(n, changing)
+			return false // closure bodies are a different iteration scope
+		}
+		return true
+	})
+}
+
+// checkUnconditional walks statements that run on every iteration.
+func (h *hotWalker) checkUnconditional(list []ast.Stmt, changing map[types.Object]bool) {
+	for _, s := range list {
+		switch s := s.(type) {
+		case *ast.BlockStmt:
+			h.checkUnconditional(s.List, changing)
+		case *ast.LabeledStmt:
+			h.checkUnconditional([]ast.Stmt{s.Stmt}, changing)
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) {
+					break
+				}
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				h.checkAllocAssign(s.Lhs[i], call, changing)
+			}
+		case *ast.DeclStmt:
+			gd, ok := s.Decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, v := range vs.Values {
+					if i >= len(vs.Names) {
+						break
+					}
+					if call, ok := ast.Unparen(v).(*ast.CallExpr); ok {
+						h.checkAllocAssign(vs.Names[i], call, changing)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkAllocAssign flags `x = make(...)` with loop-invariant size and
+// `x = append(x, elem)` growth of a no-capacity slice.
+func (h *hotWalker) checkAllocAssign(lhs ast.Expr, call *ast.CallExpr, changing map[types.Object]bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || h.reported[call] {
+		return
+	}
+	if _, isBuiltin := h.info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	dst, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return // indexed or field target: the allocation escapes
+	}
+	switch id.Name {
+	case "make":
+		for _, arg := range call.Args[1:] {
+			if dependsOn(h.info, arg, changing) {
+				return
+			}
+		}
+		h.reported[call] = true
+		h.pass.Reportf(call.Pos(),
+			"make with loop-invariant size reallocates %s every iteration; hoist the buffer out of the loop and reuse it",
+			dst.Name)
+	case "append":
+		if len(call.Args) < 2 || call.Ellipsis.IsValid() {
+			return // spread appends accumulate unknown sizes
+		}
+		arg0, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+		if !ok || h.info.Uses[arg0] == nil || h.info.Uses[arg0] != h.info.Uses[dst] {
+			return
+		}
+		if _, noCap := h.noCap[h.info.Uses[arg0]]; noCap {
+			h.reported[call] = true
+			h.pass.Reportf(call.Pos(),
+				"append grows %s every iteration but it was declared without capacity; preallocate with make(..., 0, n)",
+				dst.Name)
+		}
+	}
+}
+
+// checkFuncLit flags closures created per iteration whose captures are
+// all loop-invariant — the closure could be allocated once outside.
+func (h *hotWalker) checkFuncLit(fl *ast.FuncLit, changing map[types.Object]bool) {
+	if h.reported[fl] {
+		return
+	}
+	captured := ""
+	hoistable := true
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if !hoistable {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := h.info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || obj.Pkg() == nil {
+			return true
+		}
+		// Package-level variables are reached through their address, not
+		// captured; a closure over only globals is a static func value.
+		if obj.Parent() == obj.Pkg().Scope() {
+			return true
+		}
+		// A use of a variable declared outside the literal is a capture.
+		if obj.Pos() < fl.Pos() || obj.Pos() > fl.End() {
+			if changing[obj] {
+				hoistable = false // captures iteration state; a fresh closure is required
+				return false
+			}
+			captured = obj.Name()
+		}
+		return true
+	})
+	if captured == "" || !hoistable {
+		return
+	}
+	h.reported[fl] = true
+	h.pass.Reportf(fl.Pos(),
+		"func literal captures only loop-invariant %s; hoist the closure out of the loop to allocate it once",
+		captured)
+}
+
+// dependsOn reports whether e mentions any object in vars.
+func dependsOn(info *types.Info, e ast.Expr, vars map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && vars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// noCapSlices collects slice variables declared in body with no
+// capacity — `var xs []T`, `xs := []T{}`, or `xs := make([]T, 0)` —
+// excluding any that a later `xs = make(..., n, cap)` re-heads with an
+// explicit capacity (the declare-empty, size-per-branch idiom).
+func noCapSlices(info *types.Info, body *ast.BlockStmt) map[types.Object]token.Pos {
+	out := make(map[types.Object]token.Pos)
+	recapped := make(map[types.Object]bool)
+	record := func(id *ast.Ident) {
+		obj := info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+			out[obj] = id.Pos()
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					record(name)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch rhs := ast.Unparen(n.Rhs[i]).(type) {
+				case *ast.CompositeLit:
+					if n.Tok == token.DEFINE && len(rhs.Elts) == 0 {
+						record(id)
+					}
+				case *ast.CallExpr:
+					fn, ok := ast.Unparen(rhs.Fun).(*ast.Ident)
+					if !ok || fn.Name != "make" {
+						continue
+					}
+					switch {
+					case n.Tok == token.DEFINE && len(rhs.Args) == 2:
+						// make([]T, 0) with no capacity argument.
+						if lit, ok := ast.Unparen(rhs.Args[1]).(*ast.BasicLit); ok && lit.Value == "0" {
+							record(id)
+						}
+					case len(rhs.Args) == 3:
+						if obj := info.Uses[id]; obj != nil {
+							recapped[obj] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	for obj := range recapped {
+		delete(out, obj)
+	}
+	return out
+}

@@ -20,6 +20,20 @@
 //   - ctxfirst: exported functions accepting a context.Context must
 //     take it as their first parameter
 //
+// The flow-aware generation (built on internal/lint/flow's call graph
+// and held-lock walk) adds:
+//
+//   - lockorder: cross-package mutex acquisition-order cycles
+//     (potential deadlocks)
+//   - wiresize: untrusted decoded lengths reaching allocations before
+//     a bounds check
+//   - hotalloc: hoistable allocations, growing appends, and capturing
+//     closures inside hot-path loops
+//   - constshare: re-typed magic literals that must come from the
+//     shared named constant
+//   - atomicmix: fields accessed both atomically and plainly, or with
+//     inconsistent mutex protection
+//
 // The package deliberately depends only on the standard library
 // (go/ast, go/parser, go/token, go/types) so the module keeps its
 // zero-dependency go.mod.
@@ -30,7 +44,17 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+
+	"mloc/internal/lint/flow"
 )
+
+// fsetOf returns the packages' shared file set.
+func fsetOf(pkgs []*Package) *token.FileSet {
+	if len(pkgs) == 0 {
+		return token.NewFileSet()
+	}
+	return pkgs[0].Fset
+}
 
 // Diagnostic is one analyzer finding at a source position.
 type Diagnostic struct {
@@ -48,15 +72,23 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Package analyzers set Run and see one
+// package at a time; program analyzers set RunProgram and see every
+// loaded package at once (plus the shared flow facts) — that is how
+// the cross-package checks (lock ordering, shared constants, mixed
+// atomics) work. Exactly one of Run / RunProgram is non-nil.
 type Analyzer struct {
 	// Name is the short kebab-case identifier used in diagnostics and
 	// //mlocvet:ignore comments.
 	Name string
 	// Doc is a one-line description shown by `mlocvet -list`.
 	Doc string
-	// Run applies the check, reporting findings through the pass.
+	// Run applies a per-package check, reporting findings through the
+	// pass.
 	Run func(*Pass)
+	// RunProgram applies a whole-program check over all loaded
+	// packages.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one analyzer's view of one package plus the diagnostic
@@ -78,6 +110,50 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ProgramPass carries a program analyzer's view of every loaded
+// package, the shared flow facts, and the diagnostic sink.
+type ProgramPass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Pkgs are all loaded packages, in load order.
+	Pkgs []*Package
+	// Flow is the shared call graph and lock facts over Pkgs.
+	Flow *flow.Program
+	fset *token.FileSet
+	// lockFacts is built lazily, once, on first use.
+	lockFacts *flow.LockFacts
+	diags     *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// LockFacts returns the program's lock facts, building them on first
+// use and sharing them between the concurrency analyzers of one run.
+func (p *ProgramPass) LockFacts() *flow.LockFacts {
+	if p.lockFacts == nil {
+		p.lockFacts = flow.BuildLockFacts(p.Flow)
+	}
+	return p.lockFacts
+}
+
+// FlowPackage adapts a loaded package to flow's package view.
+func FlowPackage(pkg *Package) *flow.PackageInfo {
+	return &flow.PackageInfo{
+		Path:  pkg.Path,
+		Fset:  pkg.Fset,
+		Files: pkg.Files,
+		Types: pkg.Types,
+		Info:  pkg.Info,
+	}
+}
+
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
@@ -88,6 +164,11 @@ func All() []*Analyzer {
 		UncheckedErr,
 		ExportedDoc,
 		CtxFirst,
+		LockOrder,
+		WireSize,
+		HotAlloc,
+		ConstShare,
+		AtomicMix,
 	}
 }
 
@@ -101,14 +182,54 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
-// Run applies the given analyzers to pkg, drops findings suppressed by
-// //mlocvet:ignore comments, and returns the rest sorted by position.
+// Run applies the given analyzers to one package. It is RunAll over a
+// single-package program; see RunAll for the semantics.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAll([]*Package{pkg}, analyzers)
+}
+
+// RunAll applies the given analyzers across all loaded packages:
+// package analyzers run once per package, program analyzers run once
+// over the whole set with shared flow facts. Findings suppressed by
+// //mlocvet:ignore comments are dropped; the rest return sorted by
+// position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		if a.Run == nil {
+			continue
+		}
+		for _, pkg := range pkgs {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
 	}
-	diags = filterIgnored(pkg, diags)
+	var prog *flow.Program
+	var facts *flow.LockFacts
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		if prog == nil {
+			infos := make([]*flow.PackageInfo, len(pkgs))
+			for i, pkg := range pkgs {
+				infos[i] = FlowPackage(pkg)
+			}
+			prog = flow.BuildProgram(infos)
+		}
+		pp := &ProgramPass{
+			Analyzer:  a,
+			Pkgs:      pkgs,
+			Flow:      prog,
+			fset:      fsetOf(pkgs),
+			lockFacts: facts,
+			diags:     &diags,
+		}
+		a.RunProgram(pp)
+		facts = pp.lockFacts // share across program analyzers
+	}
+	for _, pkg := range pkgs {
+		diags = filterIgnored(pkg, diags)
+	}
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos.Filename != diags[j].Pos.Filename {
 			return diags[i].Pos.Filename < diags[j].Pos.Filename

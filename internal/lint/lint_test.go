@@ -99,6 +99,11 @@ func TestAnalyzersGolden(t *testing.T) {
 		{UncheckedErr, "uncheckederr"},
 		{ExportedDoc, "exporteddoc"},
 		{CtxFirst, "ctxfirst"},
+		{LockOrder, "lockorder"},
+		{WireSize, "wiresize"},
+		{HotAlloc, "hotalloc"},
+		{ConstShare, "constshare"},
+		{AtomicMix, "atomicmix"},
 	}
 	for _, tc := range cases {
 		name := tc.analyzer.Name + "/" + strings.ReplaceAll(tc.fixture, "/", "_")
@@ -119,6 +124,11 @@ func TestGoldenTruePositives(t *testing.T) {
 		UncheckedErr.Name:  "uncheckederr",
 		ExportedDoc.Name:   "exporteddoc",
 		CtxFirst.Name:      "ctxfirst",
+		LockOrder.Name:     "lockorder",
+		WireSize.Name:      "wiresize",
+		HotAlloc.Name:      "hotalloc",
+		ConstShare.Name:    "constshare",
+		AtomicMix.Name:     "atomicmix",
 	}
 	if len(fixtures) != len(All()) {
 		t.Fatalf("fixture map covers %d analyzers, suite has %d", len(fixtures), len(All()))

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+
+	"mloc/internal/lint/flow"
+)
+
+// LockOrder builds the program-wide mutex acquisition-order graph and
+// reports cycles. A node is a lock class (a sync.Mutex / sync.RWMutex
+// field or variable); an edge A→B is recorded when B is acquired —
+// directly, or anywhere inside a called function — while A is held.
+// A cycle means two executions can acquire the same classes in
+// opposite orders, the classic ABBA deadlock; in this codebase the
+// cache shards, the admission queue, the stage cond's mutex, and the
+// barrier mutex all sit on concurrent query paths where such a cycle
+// would hang the daemon.
+//
+// An A→A self-edge is reported too: sync mutexes are not reentrant,
+// so re-acquiring a held class either deadlocks outright (same
+// instance) or establishes an instance ordering the analyzer cannot
+// see (two instances of one class, e.g. two shards) — both deserve a
+// look, and the latter opts out with //mlocvet:ignore lockorder.
+var LockOrder = &Analyzer{
+	Name:       "lockorder",
+	Doc:        "mutex acquisition-order cycles (potential ABBA deadlocks) are forbidden",
+	RunProgram: runLockOrder,
+}
+
+// lockEdge is one acquisition-order observation.
+type lockEdge struct {
+	from, to *flow.LockClass
+	// site is the acquisition (or call) establishing the edge.
+	site ast.Node
+	// via names the called function for indirect acquisitions ("").
+	via string
+}
+
+func runLockOrder(p *ProgramPass) {
+	facts := p.LockFacts()
+	edges := make(map[[2]*flow.LockClass]*lockEdge)
+	record := func(from, to *flow.LockClass, site ast.Node, via string) {
+		k := [2]*flow.LockClass{from, to}
+		if _, ok := edges[k]; !ok {
+			edges[k] = &lockEdge{from: from, to: to, site: site, via: via}
+		}
+	}
+	for _, fi := range p.Flow.Funcs {
+		info := fi.Pkg.Info
+		facts.WalkHeld(fi, func(n ast.Node, held []*flow.LockClass) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(held) == 0 {
+				return
+			}
+			if op := facts.LockOpOf(info, call); op != nil {
+				if !op.Acquire {
+					return
+				}
+				for _, h := range held {
+					record(h, op.Class, call, "")
+				}
+				return
+			}
+			callee := flow.CalleeOf(info, call)
+			if callee == nil {
+				return
+			}
+			for to := range facts.Acquires(callee) {
+				for _, h := range held {
+					record(h, to, call, flow.QualifiedName(callee))
+				}
+			}
+		})
+	}
+
+	// Cycle detection over the class graph: DFS with an on-stack set;
+	// every back edge closes a cycle. Each cycle is reported once, at
+	// the edge that closes it, with the full class chain.
+	adj := make(map[*flow.LockClass][]*lockEdge)
+	for _, e := range edges {
+		adj[e.from] = append(adj[e.from], e)
+	}
+	for from := range adj {
+		sort.Slice(adj[from], func(i, j int) bool { return adj[from][i].to.Name < adj[from][j].to.Name })
+	}
+	starts := make([]*flow.LockClass, 0, len(adj))
+	for c := range adj {
+		starts = append(starts, c)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i].Name < starts[j].Name })
+
+	reported := make(map[string]bool)
+	var stack []*lockEdge
+	onStack := make(map[*flow.LockClass]bool)
+	done := make(map[*flow.LockClass]bool)
+	var dfs func(c *flow.LockClass)
+	dfs = func(c *flow.LockClass) {
+		onStack[c] = true
+		for _, e := range adj[c] {
+			if onStack[e.to] {
+				reportCycle(p, append(stack, e), e.to, reported)
+				continue
+			}
+			if done[e.to] {
+				continue
+			}
+			stack = append(stack, e)
+			dfs(e.to)
+			stack = stack[:len(stack)-1]
+		}
+		onStack[c] = false
+		done[c] = true
+	}
+	for _, c := range starts {
+		if !done[c] {
+			dfs(c)
+		}
+	}
+}
+
+// reportCycle emits one diagnostic for the cycle closed at the last
+// edge of path, whose target is head.
+func reportCycle(p *ProgramPass, path []*lockEdge, head *flow.LockClass, reported map[string]bool) {
+	// Trim the path to the cycle proper: drop lead-in edges before
+	// head first appears as a source.
+	start := 0
+	for i, e := range path {
+		if e.from == head {
+			start = i
+			break
+		}
+	}
+	cycle := path[start:]
+	names := make([]string, 0, len(cycle)+1)
+	for _, e := range cycle {
+		names = append(names, shortClass(e.from.Name))
+	}
+	names = append(names, shortClass(head.Name))
+	// Canonical key: rotate so the lexically smallest class leads, so
+	// one cycle reports once regardless of DFS entry point.
+	key := canonicalCycle(names[:len(names)-1])
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+	closing := cycle[len(cycle)-1]
+	msg := "lock acquisition cycle " + strings.Join(names, " -> ")
+	if closing.via != "" {
+		msg += " (via call to " + closing.via + ")"
+	}
+	msg += "; acquiring these mutexes in inconsistent order can deadlock"
+	p.Reportf(closing.site.Pos(), "%s", msg)
+}
+
+// canonicalCycle keys a cycle independent of its rotation.
+func canonicalCycle(names []string) string {
+	best := ""
+	for i := range names {
+		rotated := append(append([]string(nil), names[i:]...), names[:i]...)
+		s := strings.Join(rotated, "->")
+		if best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// shortClass trims the module path prefix from a class name for
+// readable diagnostics.
+func shortClass(name string) string {
+	if i := strings.LastIndex(name, "/"); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}

@@ -1,0 +1,71 @@
+// Package atomicmix is a mlocvet fixture mixing synchronization
+// disciplines on struct fields.
+package atomicmix
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu   sync.Mutex
+	hits int64
+	val  int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want `field atomicmix.counter.hits is accessed atomically at .* but plainly here`
+}
+
+func (c *counter) plainOnly() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.val // one discipline throughout: fine
+}
+
+func (c *counter) plainOnlyWrite(v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.val = v
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.hits = 1 // constructors run before publication: fine
+	return c
+}
+
+type table struct {
+	muA  sync.Mutex
+	muB  sync.Mutex
+	rows int
+}
+
+func (t *table) addA() {
+	t.muA.Lock()
+	t.rows++
+	t.muA.Unlock()
+}
+
+func (t *table) addB() {
+	t.muB.Lock()
+	t.rows++ // want `one field, one guard`
+	t.muB.Unlock()
+}
+
+type gauge struct {
+	level int64
+}
+
+func (g *gauge) set(v int64) {
+	atomic.StoreInt64(&g.level, v)
+}
+
+func (g *gauge) peek() int64 {
+	// A racy monitoring read, accepted on purpose.
+	return g.level //mlocvet:ignore atomicmix
+}

@@ -1,0 +1,39 @@
+// Package constshare is a mlocvet fixture restating registered shared
+// constants alongside coincidental uses of the same values.
+package constshare
+
+const fillFirst = 0x7F // want `magic literal 0x7F duplicates plod.FillByteFirst`
+
+func assemble() uint64 {
+	tail := uint64(0x7F)  // want `magic literal 0x7F duplicates plod.FillByteFirst`
+	tail = tail<<8 | 0xFF // mask operand: coincidence, not duplication
+	return tail
+}
+
+func magic() uint32 {
+	return 0x4d4c4f43 // want `magic literal 0x4d4c4f43 duplicates core's metaMagic`
+}
+
+func levelCheck(level int) bool {
+	return level > 7 // want `magic literal 7 duplicates plod.MaxLevel`
+}
+
+func plodPlanes() int {
+	nplod := 7 // want `magic literal 7 duplicates plod.MaxLevel`
+	return nplod
+}
+
+func unrelatedCount(n int) bool {
+	return n > 7 // no level/plod context: fine
+}
+
+func varintMask(b byte) byte {
+	return b & 0x7F // mask operand: fine
+}
+
+const weekDays = 127 // decimal spelling: fine
+
+func suppressedFill() byte {
+	// This fixture documents the byte inline on purpose.
+	return 0x7F //mlocvet:ignore constshare
+}

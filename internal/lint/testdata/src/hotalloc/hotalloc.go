@@ -1,0 +1,61 @@
+// Package hotalloc is a mlocvet fixture with hoistable per-iteration
+// allocations next to loops that allocate correctly.
+package hotalloc
+
+func perIteration(rows [][]float64) []float64 {
+	var out []float64
+	for _, row := range rows {
+		buf := make([]float64, 128) // want `make with loop-invariant size reallocates buf`
+		copy(buf, row)
+		out = append(out, buf[0]) // want `append grows out every iteration`
+	}
+	return out
+}
+
+func preallocated(rows [][]float64) []float64 {
+	out := make([]float64, 0, len(rows))
+	scratch := make([]float64, 128)
+	for _, row := range rows {
+		tmp := make([]float64, len(row)) // size changes per iteration: fine
+		copy(tmp, row)
+		copy(scratch, row)
+		out = append(out, scratch[0]) // out has capacity: fine
+		_ = tmp
+	}
+	return out
+}
+
+func closures(n int, scale float64) []func() float64 {
+	fns := make([]func() float64, 0, 2*n)
+	for i := 0; i < n; i++ {
+		f := func() float64 { return scale * 2 } // want `func literal captures only loop-invariant scale`
+		fns = append(fns, f)
+		g := func() float64 { return float64(i) } // captures the loop variable: fine
+		fns = append(fns, g)
+	}
+	return fns
+}
+
+func lazily(rows [][]float64, need bool) []float64 {
+	var out []float64
+	for _, row := range rows {
+		if need {
+			// Conditional allocations are deliberate lazy paths: fine.
+			buf := make([]float64, 64)
+			copy(buf, row)
+			out = append(out, buf...)
+		}
+	}
+	return out
+}
+
+func escaping(rows [][]float64) [][]float64 {
+	var out [][]float64
+	for _, row := range rows {
+		// Each iteration's buffer escapes into out on purpose.
+		buf := make([]float64, 8) //mlocvet:ignore hotalloc
+		buf[0] = row[0]
+		out = append(out, buf) //mlocvet:ignore hotalloc
+	}
+	return out
+}

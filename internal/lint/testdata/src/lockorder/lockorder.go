@@ -1,0 +1,60 @@
+// Package lockorder is a mlocvet fixture with mutex acquisition-order
+// cycles: an ABBA pair across two functions (one edge indirect, through
+// a callee) and a self-edge from re-acquiring a held class.
+package lockorder
+
+import "sync"
+
+// A and B are the two lock classes of the ABBA cycle.
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+
+var a A
+var b B
+
+func lockAB() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func lockBA() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	lockA() // want `lock acquisition cycle`
+}
+
+func lockA() {
+	a.mu.Lock()
+	a.mu.Unlock()
+}
+
+// S is re-acquired while held: a self-edge.
+type S struct{ mu sync.Mutex }
+
+func double(s, t *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t.mu.Lock() // want `lock acquisition cycle`
+	t.mu.Unlock()
+}
+
+// C is the same shape with the shard ordering documented and the
+// finding suppressed.
+type C struct{ mu sync.Mutex }
+
+func shards(lo, hi *C) {
+	lo.mu.Lock()
+	defer lo.mu.Unlock()
+	hi.mu.Lock() //mlocvet:ignore lockorder
+	hi.mu.Unlock()
+}
+
+// disjoint never holds two classes at once: no edges, no findings.
+func disjoint() {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

@@ -1,0 +1,51 @@
+// Package wiresize is a mlocvet fixture where decoded lengths reach
+// allocations with and without bounds checks.
+package wiresize
+
+import "encoding/binary"
+
+func unbounded(data []byte) []uint64 {
+	count, n := binary.Uvarint(data)
+	data = data[n:]              // the bytes-consumed result is bounded by construction
+	out := make([]uint64, count) // want `make size count derives from an untrusted decoded length`
+	for i := range out {
+		out[i], n = binary.Uvarint(data)
+		data = data[n:]
+	}
+	return out
+}
+
+func converted(data []byte) []byte {
+	size, _ := binary.Uvarint(data)
+	c := int(size)
+	return make([]byte, c) // want `make size c derives from an untrusted decoded length`
+}
+
+func sliced(data []byte) []byte {
+	plen, n := binary.Uvarint(data)
+	data = data[n:]
+	return data[:plen] // want `slice bound plen derives from an untrusted decoded length`
+}
+
+func bounded(data []byte) ([]byte, bool) {
+	plen, n := binary.Uvarint(data)
+	data = data[n:]
+	if plen > uint64(len(data)) {
+		return nil, false
+	}
+	return data[:plen], true // sanitized by the comparison above
+}
+
+func boundedMake(data []byte) []float64 {
+	count, _ := binary.Uvarint(data)
+	if count > 1<<20 {
+		return nil
+	}
+	return make([]float64, count) // sanitized by the cap above
+}
+
+func suppressed(data []byte) []byte {
+	plen, _ := binary.Uvarint(data)
+	// Caller guarantees the payload length out of band.
+	return data[:plen] //mlocvet:ignore wiresize
+}

@@ -1,0 +1,359 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// WireSize tracks lengths and counts decoded from untrusted wire or
+// file formats and flags their use as allocation sizes before a bounds
+// check. Taint sources are the varint decoders this codebase funnels
+// every length through — binary.Uvarint / binary.Varint / ReadUvarint
+// / ReadVarint, any function or method whose name is (case-
+// insensitively) "uvarint" or "varint", the byteReader string/length
+// helpers — plus fields read from *Wire request structs. A tainted
+// value that flows into make(), into a slice-header size, or through
+// an int conversion or multiplication into either, can be attacker-
+// sized: a corrupt stream declaring 2^60 values turns into a
+// multi-exabyte allocation, an overflowed int, or a negative-size
+// panic.
+//
+// A value is considered sanitized once it appears in a comparison
+// (<, <=, >, >=) — the idiom here is rejecting counts that exceed the
+// remaining payload before converting or allocating. Assigning a
+// fresh value to the variable also clears its taint.
+//
+// The analysis is per function and flow-insensitive across calls: a
+// length returned from a helper is only tainted if the helper matches
+// a source pattern. That is exactly the decode-path shape of
+// internal/compress, internal/core's meta/offsets unmarshalers, and
+// internal/server's request decoding.
+var WireSize = &Analyzer{
+	Name: "wiresize",
+	Doc:  "untrusted decoded lengths must be bounds-checked before sizing an allocation",
+	Run:  runWireSize,
+}
+
+func runWireSize(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &wireWalker{pass: p, info: p.Pkg.Info, tainted: make(map[types.Object]bool)}
+			w.walkStmts(fd.Body.List)
+		}
+	}
+}
+
+// wireWalker tracks tainted objects through one function body in
+// source order.
+type wireWalker struct {
+	pass    *Pass
+	info    *types.Info
+	tainted map[types.Object]bool
+}
+
+// isTaintSourceCall reports whether a call returns untrusted decoded
+// values (see the analyzer doc for the pattern list).
+func (w *wireWalker) isTaintSourceCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	switch strings.ToLower(name) {
+	case "uvarint", "varint", "readuvarint", "readvarint", "uvarintmax":
+		return true
+	}
+	return false
+}
+
+// isWireField reports whether e reads a field of a *Wire struct (the
+// server's untrusted request shapes).
+func (w *wireWalker) isWireField(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := w.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	t := s.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && strings.HasSuffix(named.Obj().Name(), "Wire")
+}
+
+// exprTainted reports whether evaluating e yields a tainted value:
+// a tainted variable, arithmetic over one, a conversion of one, or a
+// direct taint source.
+func (w *wireWalker) exprTainted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return w.tainted[w.info.Uses[e]]
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.SHL:
+			return w.exprTainted(e.X) || w.exprTainted(e.Y)
+		}
+		return false
+	case *ast.CallExpr:
+		if w.isTaintSourceCall(e) {
+			return true
+		}
+		// Conversions propagate taint: int(count), int32(n), uint64(x).
+		if len(e.Args) == 1 && w.isConversion(e) {
+			return w.exprTainted(e.Args[0])
+		}
+		return false
+	case *ast.SelectorExpr:
+		return w.isWireField(e)
+	case *ast.StarExpr:
+		return w.exprTainted(e.X)
+	}
+	return false
+}
+
+// isConversion reports whether call is a type conversion.
+func (w *wireWalker) isConversion(call *ast.CallExpr) bool {
+	tv, ok := w.info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// walkStmts processes statements in source order. Order matters: a
+// bounds check sanitizes only subsequent uses.
+func (w *wireWalker) walkStmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.walkStmt(s)
+	}
+}
+
+func (w *wireWalker) walkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.walkStmts(s.List)
+	case *ast.AssignStmt:
+		w.checkExprs(s.Rhs)
+		w.applyAssign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.checkExprs(vs.Values)
+					for i, name := range vs.Names {
+						if i < len(vs.Values) {
+							w.setTaint(w.info.Defs[name], w.exprTainted(vs.Values[i]))
+						}
+					}
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		w.checkExpr(s.X)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init)
+		w.checkExpr(s.Cond)
+		w.sanitizeCompared(s.Cond)
+		w.walkStmt(s.Body)
+		w.walkStmt(s.Else)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init)
+		if s.Cond != nil {
+			w.checkExpr(s.Cond)
+			w.sanitizeCompared(s.Cond)
+		}
+		w.walkStmt(s.Body)
+		w.walkStmt(s.Post)
+	case *ast.RangeStmt:
+		w.checkExpr(s.X)
+		w.walkStmt(s.Body)
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init)
+		if s.Tag != nil {
+			w.checkExpr(s.Tag)
+		}
+		w.walkStmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init)
+		w.walkStmt(s.Assign)
+		w.walkStmt(s.Body)
+	case *ast.CaseClause:
+		w.checkExprs(s.List)
+		w.walkStmts(s.Body)
+	case *ast.SelectStmt:
+		w.walkStmt(s.Body)
+	case *ast.CommClause:
+		w.walkStmt(s.Comm)
+		w.walkStmts(s.Body)
+	case *ast.ReturnStmt:
+		w.checkExprs(s.Results)
+	case *ast.SendStmt:
+		w.checkExpr(s.Value)
+	case *ast.DeferStmt:
+		w.checkExpr(s.Call)
+	case *ast.GoStmt:
+		w.checkExpr(s.Call)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt)
+	case *ast.IncDecStmt:
+		w.checkExpr(s.X)
+	}
+}
+
+// applyAssign updates taint for the assigned variables.
+func (w *wireWalker) applyAssign(as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Multi-value: count, n, err := uvarint(data) taints only the
+		// first result — the decoded value. The trailing results follow
+		// the (value, bytesConsumed, error) convention and are bounded
+		// by the input length by construction.
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		taint := ok && w.isTaintSourceCall(call)
+		for i, lhs := range as.Lhs {
+			if obj := w.lhsObject(lhs); obj != nil && !isErrorType(obj.Type()) {
+				w.setTaint(obj, taint && i == 0)
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		obj := w.lhsObject(lhs)
+		if obj == nil {
+			continue
+		}
+		if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN || as.Tok == token.MUL_ASSIGN {
+			if w.exprTainted(as.Rhs[i]) {
+				w.setTaint(obj, true)
+			}
+			continue
+		}
+		w.setTaint(obj, w.exprTainted(as.Rhs[i]))
+	}
+}
+
+// lhsObject resolves an assignment target to its variable object.
+func (w *wireWalker) lhsObject(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := w.info.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.info.Uses[id]
+}
+
+func (w *wireWalker) setTaint(obj types.Object, tainted bool) {
+	if obj == nil {
+		return
+	}
+	if tainted {
+		w.tainted[obj] = true
+	} else {
+		delete(w.tainted, obj)
+	}
+}
+
+// sanitizeCompared clears taint from variables that appear in ordered
+// comparisons within cond — the bounds-check idiom.
+func (w *wireWalker) sanitizeCompared(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ:
+			w.sanitizeExpr(be.X)
+			w.sanitizeExpr(be.Y)
+		}
+		return true
+	})
+}
+
+// sanitizeExpr clears taint from every variable mentioned in e.
+func (w *wireWalker) sanitizeExpr(e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			w.setTaint(w.info.Uses[id], false)
+		}
+		return true
+	})
+}
+
+// checkExprs applies checkExpr to each expression.
+func (w *wireWalker) checkExprs(list []ast.Expr) {
+	for _, e := range list {
+		w.checkExpr(e)
+	}
+}
+
+// checkExpr reports tainted values reaching allocation sizes: make()
+// arguments, slice-expression bounds, and the tainted operands of the
+// int conversions / multiplications feeding them.
+func (w *wireWalker) checkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isBuiltin := w.info.Uses[id].(*types.Builtin); isBuiltin {
+					for _, arg := range n.Args[1:] {
+						if w.exprTainted(arg) {
+							w.pass.Reportf(arg.Pos(),
+								"make size %s derives from an untrusted decoded length; bounds-check it first",
+								render(arg))
+						}
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			for _, b := range []ast.Expr{n.Low, n.High, n.Max} {
+				if b != nil && w.exprTainted(b) {
+					w.pass.Reportf(b.Pos(),
+						"slice bound %s derives from an untrusted decoded length; bounds-check it first",
+						render(b))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// render prints a compact expression for diagnostics.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && len(e.Args) == 1 {
+			return id.Name + "(" + render(e.Args[0]) + ")"
+		}
+	case *ast.BinaryExpr:
+		return render(e.X) + " " + e.Op.String() + " " + render(e.Y)
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.StarExpr:
+		return "*" + render(e.X)
+	}
+	return "expression"
+}

@@ -29,6 +29,17 @@ const NumPlanes = 7
 // precision.
 const MaxLevel = 7
 
+// FillByteFirst is the dummy byte substituted for the first absent
+// (truncated) byte when reassembling a partial-precision value: the
+// paper's centered fill, placing the reconstruction in the middle of
+// the truncation interval. See Assemble.
+const FillByteFirst byte = 0x7F
+
+// FillByteRest is the dummy byte substituted for every absent byte
+// after the first; together with FillByteFirst it forms the
+// 0x7F 0xFF 0xFF... tail of a truncated value.
+const FillByteRest byte = 0xFF
+
 // BytesPerValue returns how many leading bytes of each float64 a reader
 // at the given PLoD level fetches (level 1 → 2 bytes … level 7 → 8).
 func BytesPerValue(level int) int {
@@ -118,10 +129,10 @@ func Assemble(planes [][]byte, level int, n int, fill FillPolicy, dst []float64)
 	var tail uint64
 	if fill == FillCentered && level < MaxLevel {
 		absent := 8 - BytesPerValue(level)
-		// First absent byte 0x7F, remaining 0xFF.
-		tail = 0x7F
+		// First absent byte FillByteFirst, remaining FillByteRest.
+		tail = uint64(FillByteFirst)
 		for j := 1; j < absent; j++ {
-			tail = tail<<8 | 0xFF
+			tail = tail<<8 | uint64(FillByteRest)
 		}
 		// Shift into the low `absent` bytes (already there).
 	}

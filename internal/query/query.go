@@ -11,6 +11,7 @@ import (
 
 	"mloc/internal/binning"
 	"mloc/internal/grid"
+	"mloc/internal/plod"
 )
 
 // Request describes one data access. The zero value of each constraint
@@ -46,8 +47,8 @@ func (r *Request) Validate(shape grid.Shape) error {
 			}
 		}
 	}
-	if r.PLoDLevel < 0 || r.PLoDLevel > 7 {
-		return fmt.Errorf("query: PLoD level %d out of [0,7]", r.PLoDLevel)
+	if r.PLoDLevel < 0 || r.PLoDLevel > plod.MaxLevel {
+		return fmt.Errorf("query: PLoD level %d out of [0,%d]", r.PLoDLevel, plod.MaxLevel)
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"mloc/internal/binning"
 	"mloc/internal/grid"
+	"mloc/internal/plod"
 	"mloc/internal/query"
 )
 
@@ -69,8 +70,8 @@ func ParseRequest(r io.Reader) (*queryWire, error) {
 	if len(w.Var) > maxVarNameLen {
 		return nil, fmt.Errorf("server: variable name longer than %d bytes", maxVarNameLen)
 	}
-	if w.PLoD < 0 || w.PLoD > 7 {
-		return nil, fmt.Errorf("server: plod %d out of [0,7]", w.PLoD)
+	if w.PLoD < 0 || w.PLoD > plod.MaxLevel {
+		return nil, fmt.Errorf("server: plod %d out of [0,%d]", w.PLoD, plod.MaxLevel)
 	}
 	if w.Ranks < 0 || w.Ranks > maxWireRanks {
 		return nil, fmt.Errorf("server: ranks %d out of [0,%d]", w.Ranks, maxWireRanks)

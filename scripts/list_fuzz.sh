@@ -1,0 +1,39 @@
+#!/bin/sh
+# list_fuzz.sh — regenerate (or verify) scripts/fuzz_targets.txt, the
+# inventory that drives `make fuzz-short`: one "<package> <FuzzTarget>"
+# line per fuzz target, discovered with `go test -list '^Fuzz'` so the
+# rotation can never silently miss a target.
+#
+#   ./scripts/list_fuzz.sh          rewrite the inventory
+#   ./scripts/list_fuzz.sh --check  fail if the committed inventory is
+#                                   stale (used by `make check` and CI)
+set -eu
+cd "$(dirname "$0")/.."
+out=scripts/fuzz_targets.txt
+mod=$(go list -m)
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+# `go test -list` prints each package's matching names followed by its
+# "ok <pkg>" line; attribute the accumulated names to that package.
+go test -list '^Fuzz' ./... | awk -v mod="$mod" '
+	/^Fuzz/ { names[n++] = $1; next }
+	$1 == "ok" {
+		pkg = $2
+		sub("^" mod, ".", pkg)
+		for (i = 0; i < n; i++) print pkg, names[i]
+		n = 0
+	}
+' | sort >"$tmp"
+
+if [ "${1:-}" = "--check" ]; then
+	if ! cmp -s "$tmp" "$out"; then
+		echo "$out is stale; regenerate it with ./scripts/list_fuzz.sh" >&2
+		diff -u "$out" "$tmp" >&2 || true
+		exit 1
+	fi
+	exit 0
+fi
+mv "$tmp" "$out"
+trap - EXIT
+echo "wrote $out ($(wc -l <"$out" | tr -d ' ') targets)"
