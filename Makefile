@@ -6,7 +6,7 @@ FUZZTIME ?= 10s
 # bite.
 RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage ./internal/cache ./internal/server
 
-.PHONY: build test vet mlocvet mlocvet-baseline race fuzz-short fuzz-list fuzz-list-check serve-smoke check
+.PHONY: build test vet mlocvet mlocvet-baseline race bench-json fuzz-short fuzz-list fuzz-list-check serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -32,6 +32,12 @@ mlocvet-baseline:
 ## race: race-detector pass over the parallel engine packages.
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+## bench-json: run the parallel-build benchmark and regenerate
+## BENCH_build.json (the recorded bench trajectory; CI uploads it as an
+## artifact). BENCHTIME=10x stabilizes the numbers on noisy hosts.
+bench-json:
+	./scripts/bench_json.sh
 
 ## fuzz-short: run every fuzz target briefly (~$(FUZZTIME) each). The
 ## target inventory lives in scripts/fuzz_targets.txt (regenerate with

@@ -115,6 +115,32 @@ func FromBounds(bounds []float64) (*Scheme, error) {
 	return &Scheme{bounds: append([]float64(nil), bounds...)}, nil
 }
 
+// CoverRange returns a scheme whose outer boundaries are widened —
+// never shrunk — to cover [lo, hi]. BinOf clamps out-of-range values
+// into the edge bins, so when boundaries were estimated from a sample
+// the edge bins can hold values outside their nominal intervals; that
+// makes Classify over-report alignment and aligned-bin fast paths
+// return clamped values that violate the constraint. A builder that
+// knows the true data extremes widens the bounds so every stored value
+// lies inside its bin's nominal interval. Bin membership is unchanged
+// (out-of-range values clamp into the edge bins either way). NaN or
+// already-covered extremes leave the scheme as is; the receiver is
+// never modified.
+func (s *Scheme) CoverRange(lo, hi float64) *Scheme {
+	n := len(s.bounds) - 1
+	if !(lo < s.bounds[0]) && !(hi > s.bounds[n]) {
+		return s
+	}
+	bounds := append([]float64(nil), s.bounds...)
+	if lo < bounds[0] {
+		bounds[0] = lo
+	}
+	if hi > bounds[n] {
+		bounds[n] = hi
+	}
+	return &Scheme{bounds: bounds}
+}
+
 // NumBins returns the number of bins.
 func (s *Scheme) NumBins() int { return len(s.bounds) - 1 }
 

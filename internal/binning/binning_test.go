@@ -198,6 +198,44 @@ func TestSelectBinsConsistentWithContains(t *testing.T) {
 	}
 }
 
+func TestCoverRange(t *testing.T) {
+	s, _ := FromBounds([]float64{0, 10, 20, 30})
+	// Covered extremes: same scheme back, untouched.
+	if got := s.CoverRange(0, 30); got != s {
+		t.Fatal("CoverRange with covered extremes rebuilt the scheme")
+	}
+	if got := s.CoverRange(5, 25); got != s {
+		t.Fatal("CoverRange with interior extremes rebuilt the scheme")
+	}
+	// Widening: outer bounds move, interior bounds and receiver do not.
+	w := s.CoverRange(-5, 42)
+	if b := w.Bounds(); b[0] != -5 || b[1] != 10 || b[2] != 20 || b[3] != 42 {
+		t.Fatalf("widened bounds = %v", b)
+	}
+	if b := s.Bounds(); b[0] != 0 || b[3] != 30 {
+		t.Fatalf("receiver mutated: %v", b)
+	}
+	// One-sided widening.
+	if b := s.CoverRange(-1, 7).Bounds(); b[0] != -1 || b[3] != 30 {
+		t.Fatalf("low-side widening = %v", b)
+	}
+	if b := s.CoverRange(3, 31).Bounds(); b[0] != 0 || b[3] != 31 {
+		t.Fatalf("high-side widening = %v", b)
+	}
+	// NaN extremes are ignored.
+	if got := s.CoverRange(math.NaN(), math.NaN()); got != s {
+		t.Fatal("NaN extremes rebuilt the scheme")
+	}
+	// After widening, clamped values satisfy their bin's nominal range
+	// and Classify stops over-reporting alignment for the edge bin.
+	if a := w.Classify(0, ValueConstraint{Min: 0, Max: 10}); a != Misaligned {
+		t.Fatalf("widened bin 0 vs [0,10] = %v, want misaligned", a)
+	}
+	if a := w.Classify(0, ValueConstraint{Min: -5, Max: 10}); a != Aligned {
+		t.Fatalf("widened bin 0 vs [-5,10] = %v, want aligned", a)
+	}
+}
+
 func TestHistogramSums(t *testing.T) {
 	values := uniformSample(1234, 4)
 	s, _ := Build(EqualFrequency, values, 10)

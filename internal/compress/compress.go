@@ -41,6 +41,46 @@ type FloatCodec interface {
 	DecodeFloats(data []byte, dst []float64) ([]float64, error)
 }
 
+// ByteAppender is an optional ByteCodec extension: AppendBytes encodes
+// src appending the self-contained buffer to dst, letting callers reuse
+// one growing arena instead of allocating a fresh buffer per piece. The
+// parallel store builder threads its pooled scratch through this path.
+type ByteAppender interface {
+	AppendBytes(dst, src []byte) ([]byte, error)
+}
+
+// FloatAppender is the FloatCodec counterpart of ByteAppender.
+type FloatAppender interface {
+	AppendFloats(dst []byte, values []float64) ([]byte, error)
+}
+
+// AppendBytes encodes src with c, appending to dst. Codecs implementing
+// ByteAppender encode straight into dst; others pay one intermediate
+// buffer.
+func AppendBytes(c ByteCodec, dst, src []byte) ([]byte, error) {
+	if a, ok := c.(ByteAppender); ok {
+		return a.AppendBytes(dst, src)
+	}
+	enc, err := c.EncodeBytes(src)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, enc...), nil
+}
+
+// AppendFloats encodes values with c, appending to dst; the FloatCodec
+// analogue of AppendBytes.
+func AppendFloats(c FloatCodec, dst []byte, values []float64) ([]byte, error) {
+	if a, ok := c.(FloatAppender); ok {
+		return a.AppendFloats(dst, values)
+	}
+	enc, err := c.EncodeFloats(values)
+	if err != nil {
+		return nil, err
+	}
+	return append(dst, enc...), nil
+}
+
 // RawBytes is the identity byte codec (used for incompressible planes).
 type RawBytes struct{}
 
@@ -50,6 +90,11 @@ func (RawBytes) Name() string { return "raw" }
 // EncodeBytes implements ByteCodec; it copies src.
 func (RawBytes) EncodeBytes(src []byte) ([]byte, error) {
 	return append([]byte(nil), src...), nil
+}
+
+// AppendBytes implements ByteAppender.
+func (RawBytes) AppendBytes(dst, src []byte) ([]byte, error) {
+	return append(dst, src...), nil
 }
 
 // DecodeBytes implements ByteCodec.
@@ -70,11 +115,15 @@ func (RawFloats) Lossless() bool { return true }
 
 // EncodeFloats implements FloatCodec.
 func (RawFloats) EncodeFloats(values []float64) ([]byte, error) {
-	out := make([]byte, 8*len(values))
-	for i, v := range values {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	return RawFloats{}.AppendFloats(make([]byte, 0, 8*len(values)), values)
+}
+
+// AppendFloats implements FloatAppender.
+func (RawFloats) AppendFloats(dst []byte, values []float64) ([]byte, error) {
+	for _, v := range values {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // DecodeFloats implements FloatCodec.

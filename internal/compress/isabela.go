@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"mloc/internal/bspline"
 )
@@ -46,6 +47,20 @@ func DefaultIsabelaConfig() IsabelaConfig {
 type Isabela struct {
 	cfg IsabelaConfig
 	zl  *Zlib
+	// scratch pools per-window encode state (permutation, sorted copy,
+	// spline samples, residual streams) so builds encoding thousands of
+	// windows stop allocating them fresh; encoders may run from many
+	// workers at once.
+	scratch sync.Pool // *isaScratch
+}
+
+// isaScratch is one encoder's reusable per-window state.
+type isaScratch struct {
+	perm     []uint32
+	sorted   []float64
+	approx   []float64
+	resid    []byte
+	residEnc []byte
 }
 
 // NewIsabela constructs the codec, clamping degenerate parameters to
@@ -108,7 +123,18 @@ func effNumCoefs(wlen, configured int) int {
 //	  bit-packed permutation (count entries of ceil(log2 count) bits),
 //	  uvarint residualLen, zlib(zigzag-varint residual stream)
 func (c *Isabela) EncodeFloats(values []float64) ([]byte, error) {
-	out := putUvarint(nil, uint64(len(values)))
+	return c.AppendFloats(nil, values)
+}
+
+// AppendFloats implements FloatAppender with pooled per-window scratch
+// buffers, appending the stream to dst.
+func (c *Isabela) AppendFloats(dst []byte, values []float64) ([]byte, error) {
+	sc, _ := c.scratch.Get().(*isaScratch)
+	if sc == nil {
+		sc = new(isaScratch)
+	}
+	defer c.scratch.Put(sc)
+	out := putUvarint(dst, uint64(len(values)))
 	out = putUvarint(out, uint64(c.cfg.WindowSize))
 	out = putUvarint(out, uint64(c.cfg.NumCoefs))
 	var eps [8]byte
@@ -121,7 +147,7 @@ func (c *Isabela) EncodeFloats(values []float64) ([]byte, error) {
 			end = len(values)
 		}
 		var err error
-		out, err = c.encodeWindow(out, values[start:end])
+		out, err = c.encodeWindow(out, values[start:end], sc)
 		if err != nil {
 			return nil, err
 		}
@@ -129,7 +155,7 @@ func (c *Isabela) EncodeFloats(values []float64) ([]byte, error) {
 	return out, nil
 }
 
-func (c *Isabela) encodeWindow(out []byte, w []float64) ([]byte, error) {
+func (c *Isabela) encodeWindow(out []byte, w []float64, sc *isaScratch) ([]byte, error) {
 	ncoefs := effNumCoefs(len(w), c.cfg.NumCoefs)
 	if len(w) < 8 || len(w) < ncoefs {
 		// Tiny tail window: store raw.
@@ -148,12 +174,19 @@ func (c *Isabela) encodeWindow(out []byte, w []float64) ([]byte, error) {
 	}
 	n := len(w)
 	// Sort with permutation: perm[i] = original index of i-th smallest.
-	perm := make([]uint32, n)
-	for i := range perm {
-		perm[i] = uint32(i)
+	perm := sc.perm[:0]
+	for i := 0; i < n; i++ {
+		perm = append(perm, uint32(i))
 	}
+	sc.perm = perm
 	sort.Slice(perm, func(a, b int) bool { return w[perm[a]] < w[perm[b]] })
-	sorted := make([]float64, n)
+	sorted := sc.sorted
+	if cap(sorted) < n {
+		sorted = make([]float64, n)
+	} else {
+		sorted = sorted[:n]
+	}
+	sc.sorted = sorted
 	var maxAbs float64
 	for i, p := range perm {
 		sorted[i] = w[p]
@@ -166,14 +199,15 @@ func (c *Isabela) encodeWindow(out []byte, w []float64) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("compress: isabela window fit: %w", err)
 	}
-	approx := sp.EvalN(n, nil)
+	approx := sp.EvalN(n, sc.approx[:0])
+	sc.approx = approx
 
 	floor := maxAbs * c.cfg.ScaleFloor
 	if floor <= 0 {
 		floor = 1 // all-zero window; any scale works, residuals are 0
 	}
 	// Quantize residuals against a scale the decoder can recompute.
-	resid := make([]byte, 0, n)
+	resid := sc.resid[:0]
 	for i := 0; i < n; i++ {
 		scale := math.Abs(approx[i])
 		if scale < floor {
@@ -182,10 +216,12 @@ func (c *Isabela) encodeWindow(out []byte, w []float64) ([]byte, error) {
 		q := int64(math.Round((sorted[i] - approx[i]) / (c.cfg.RelError * scale)))
 		resid = binary.AppendVarint(resid, q)
 	}
-	residEnc, err := c.zl.EncodeBytes(resid)
+	sc.resid = resid
+	residEnc, err := c.zl.AppendBytes(sc.residEnc[:0], resid)
 	if err != nil {
 		return nil, err
 	}
+	sc.residEnc = residEnc
 
 	out = append(out, isaWindowSpline)
 	// Persist the scale floor: the decoder cannot recompute it exactly

@@ -2,6 +2,7 @@ package compress
 
 import (
 	"fmt"
+	"sync"
 
 	"mloc/internal/plod"
 )
@@ -19,6 +20,17 @@ type Isobar struct {
 	minGain float64
 	// sampleLen bounds the trial-compression sample per plane.
 	sampleLen int
+	// scratch pools per-encode state (plane split buffers and the
+	// trial/full compression buffer) so a build encoding thousands of
+	// units allocates none of it per call; encoders may run from many
+	// workers at once.
+	scratch sync.Pool // *isobarScratch
+}
+
+// isobarScratch is one encoder's reusable state.
+type isobarScratch struct {
+	split plod.SplitScratch
+	enc   []byte
 }
 
 // NewIsobar constructs an Isobar codec with the given zlib level.
@@ -37,17 +49,30 @@ func (c *Isobar) Lossless() bool { return true }
 //	uvarint count
 //	per plane: 1 flag byte (0 raw, 1 zlib), uvarint encodedLen, payload
 func (c *Isobar) EncodeFloats(values []float64) ([]byte, error) {
-	planes := plod.Split(values)
-	out := putUvarint(nil, uint64(len(values)))
+	return c.AppendFloats(nil, values)
+}
+
+// AppendFloats implements FloatAppender with pooled scratch: the plane
+// split and the trial/full compression buffers are reused across calls,
+// and every plane payload is appended straight into dst.
+func (c *Isobar) AppendFloats(dst []byte, values []float64) ([]byte, error) {
+	sc, _ := c.scratch.Get().(*isobarScratch)
+	if sc == nil {
+		sc = new(isobarScratch)
+	}
+	defer c.scratch.Put(sc)
+	planes := sc.split.Split(values)
+	out := putUvarint(dst, uint64(len(values)))
 	for p := 0; p < plod.NumPlanes; p++ {
 		plane := planes[p]
 		var payload []byte
 		flag := byte(0)
-		if c.compressible(plane) {
-			enc, err := c.zl.EncodeBytes(plane)
+		if c.compressible(plane, sc) {
+			enc, err := c.zl.AppendBytes(sc.enc[:0], plane)
 			if err != nil {
 				return nil, err
 			}
+			sc.enc = enc
 			// Keep the compressed form only when it actually wins on
 			// the full plane, not just the sample.
 			if float64(len(enc)) < float64(len(plane))*(1-c.minGain) {
@@ -66,8 +91,9 @@ func (c *Isobar) EncodeFloats(values []float64) ([]byte, error) {
 }
 
 // compressible runs the ISOBAR-style analysis: trial-compress a sample
-// of the plane and require a minimum gain.
-func (c *Isobar) compressible(plane []byte) bool {
+// of the plane and require a minimum gain. The trial reuses the
+// scratch's encode buffer.
+func (c *Isobar) compressible(plane []byte, sc *isobarScratch) bool {
 	if len(plane) == 0 {
 		return false
 	}
@@ -75,10 +101,11 @@ func (c *Isobar) compressible(plane []byte) bool {
 	if len(sample) > c.sampleLen {
 		sample = sample[:c.sampleLen]
 	}
-	enc, err := c.zl.EncodeBytes(sample)
+	enc, err := c.zl.AppendBytes(sc.enc[:0], sample)
 	if err != nil {
 		return false
 	}
+	sc.enc = enc
 	return float64(len(enc)) < float64(len(sample))*(1-c.minGain)
 }
 

@@ -15,6 +15,8 @@ const DefaultZlibLevel = 6
 // Zlib is the standard DEFLATE-based byte codec. Encoder and decoder
 // state is pooled: a fresh deflate state is more than a megabyte, and
 // MLOC compresses tens of thousands of small plane pieces per build.
+// All methods are safe for concurrent use; the parallel store builder
+// shares one Zlib across its encode workers.
 type Zlib struct {
 	level   int
 	writers sync.Pool // *zlib.Writer
@@ -36,19 +38,39 @@ func NewZlib(level int) *Zlib {
 // Name implements ByteCodec.
 func (z *Zlib) Name() string { return "zlib" }
 
+// appendWriter is an io.Writer that appends into a byte slice, so the
+// deflate stream lands directly in a caller-owned arena.
+type appendWriter struct {
+	b []byte
+}
+
+func (w *appendWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
 // EncodeBytes implements ByteCodec.
 func (z *Zlib) EncodeBytes(src []byte) ([]byte, error) {
-	var buf bytes.Buffer
+	return z.AppendBytes(nil, src)
+}
+
+// AppendBytes implements ByteAppender: it compresses src, appending the
+// stream to dst.
+func (z *Zlib) AppendBytes(dst, src []byte) ([]byte, error) {
+	sink := &appendWriter{b: dst}
 	w, _ := z.writers.Get().(*zlib.Writer)
 	if w == nil {
 		var err error
-		w, err = zlib.NewWriterLevel(&buf, z.level)
+		w, err = zlib.NewWriterLevel(sink, z.level)
 		if err != nil {
 			return nil, fmt.Errorf("compress: zlib writer: %w", err)
 		}
 	} else {
-		w.Reset(&buf)
+		w.Reset(sink)
 	}
+	// On Write/Close errors the writer is dropped, not pooled: the
+	// deflate state is mid-stream and cannot be trusted until the next
+	// Reset, and errors are impossible with an in-memory sink anyway.
 	if _, err := w.Write(src); err != nil {
 		return nil, fmt.Errorf("compress: zlib write: %w", err)
 	}
@@ -56,7 +78,7 @@ func (z *Zlib) EncodeBytes(src []byte) ([]byte, error) {
 		return nil, fmt.Errorf("compress: zlib close: %w", err)
 	}
 	z.writers.Put(w)
-	return buf.Bytes(), nil
+	return sink.b, nil
 }
 
 // DecodeBytes implements ByteCodec.
@@ -78,6 +100,8 @@ func (z *Zlib) decode(data []byte, dst []byte, max int64) ([]byte, error) {
 	var r io.ReadCloser
 	if pooled, ok := z.readers.Get().(io.ReadCloser); ok && pooled != nil {
 		if err := pooled.(zlib.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
+			// A failed Reset leaves the inflate state undefined; drop the
+			// reader rather than pooling it.
 			return nil, fmt.Errorf("compress: zlib reader: %w", err)
 		}
 		r = pooled
@@ -97,15 +121,20 @@ func (z *Zlib) decode(data []byte, dst []byte, max int64) ([]byte, error) {
 	}
 	n, err := io.Copy(buf, src)
 	if err != nil {
-		// The decode error takes precedence over any close error.
+		// The decode error takes precedence over any close error. A
+		// reader that saw corrupt input is still pool-safe: the next use
+		// Resets it onto a fresh stream.
 		_ = r.Close() //mlocvet:ignore uncheckederr
+		z.readers.Put(r)
 		return nil, fmt.Errorf("compress: zlib decode: %w", err)
 	}
 	if max >= 0 && n > max {
 		_ = r.Close() //mlocvet:ignore uncheckederr
+		z.readers.Put(r)
 		return nil, fmt.Errorf("compress: zlib output exceeds %d-byte limit", max)
 	}
 	if err := r.Close(); err != nil {
+		z.readers.Put(r)
 		return nil, fmt.Errorf("compress: zlib close: %w", err)
 	}
 	z.readers.Put(r)

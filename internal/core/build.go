@@ -1,12 +1,16 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mloc/internal/binning"
+	"mloc/internal/compress"
 	"mloc/internal/datagen"
 	"mloc/internal/grid"
 	"mloc/internal/pfs"
@@ -19,6 +23,13 @@ import (
 // PFS write time is charged to clk; compression CPU time is measured
 // and added to the same clock, reproducing the paper's in-situ
 // processing-pipeline accounting.
+//
+// Both passes fan out over Config.BuildWorkers workers (pass 1 over
+// chunks, pass 2 over bins) while committing results in deterministic
+// storage order, so the produced store is byte-identical for every
+// worker count. Measured compute is aggregated across workers and
+// charged as total/workers wall-equivalent, keeping the virtual-clock
+// pipeline timings meaningful (DESIGN.md cost-model notes).
 func Build(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []float64, cfg Config) (*Store, error) {
 	return BuildWithSample(fs, clk, prefix, shape, data, nil, cfg)
 }
@@ -60,40 +71,24 @@ func BuildWithSample(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shap
 	if err != nil {
 		return nil, err
 	}
-
+	// The sampled boundaries need not cover the full data range, and
+	// BinOf clamps out-of-range values into the edge bins — which would
+	// let a constraint covering bin 0's (or the last bin's) nominal
+	// interval classify it aligned and return the clamped values
+	// unfiltered. Widen the outer bounds to the observed extremes so
+	// every stored value lies inside its bin's nominal interval.
+	lo, hi := dataRange(data)
+	scheme = scheme.CoverRange(lo, hi)
 	nbins := scheme.NumBins()
-	perBin := make([][]rawUnit, nbins)
 
 	// Pass 1: chunk the data (level S boundary definition), bin each
-	// chunk's points (level V membership).
-	cpu0 := time.Now()
-	var chunkBuf []float64
-	// The header arrays are reused across chunks; the per-bin slices
-	// they point at escape into rawUnits, so they reset to nil (not
-	// [:0]) each iteration.
-	local := make([][]int32, nbins)
-	localV := make([][]float64, nbins)
-	for _, chunkID := range order {
-		chunkBuf = chunks.ExtractChunk(data, chunkID, chunkBuf[:0])
-		for b := range local {
-			local[b], localV[b] = nil, nil
-		}
-		for off, v := range chunkBuf {
-			b := scheme.BinOf(v)
-			local[b] = append(local[b], int32(off))
-			localV[b] = append(localV[b], v)
-		}
-		for b := 0; b < nbins; b++ {
-			if len(local[b]) == 0 {
-				continue
-			}
-			perBin[b] = append(perBin[b], rawUnit{chunkID: chunkID, offsets: local[b], values: localV[b]})
-		}
-	}
-	clk.AdvanceBy(time.Since(cpu0).Seconds())
+	// chunk's points (level V membership), fanned out over the worker
+	// pool and merged in storage order.
+	perBin := binChunks(clk, fs, chunks, order, data, scheme, nbins, cfg.buildWorkers())
 
 	// Pass 2: encode each bin's units (levels M + compression), lay out
-	// the bin files per the configured order, and write them.
+	// the bin files per the configured order, and commit them to the
+	// PFS in bin order.
 	meta := &storeMeta{
 		shape:      shape.Clone(),
 		chunkSize:  append([]int(nil), cfg.ChunkSize...),
@@ -110,46 +105,27 @@ func BuildWithSample(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shap
 		meta.codecName = cfg.FloatCodec.Name()
 	}
 
+	nw := cfg.buildWorkers()
+	if nw > nbins {
+		nw = nbins
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	enc := encodeBins(fs, meta, perBin, cfg, nw)
 	for b := 0; b < nbins; b++ {
-		units := perBin[b]
+		e := &enc[b]
+		if e.err != nil {
+			return nil, fmt.Errorf("core: bin %d: %w", b, e.err)
+		}
+		clk.AdvanceParallel(e.cpu, nw)
 		bm := &meta.bins[b]
-		bm.unitByChunk = make(map[int64]int, len(units))
-
-		var indexBuf []byte
-		cpuIdx := time.Now()
-		bm.units = make([]unitMeta, len(units))
-		for j, u := range units {
-			um := &bm.units[j]
-			um.chunkID = u.chunkID
-			um.count = int32(len(u.offsets))
-			um.indexOff = int64(len(indexBuf))
-			prev := int32(0)
-			for _, off := range u.offsets {
-				indexBuf = binary.AppendUvarint(indexBuf, uint64(off-prev))
-				prev = off
-			}
-			um.indexLen = int64(len(indexBuf)) - um.indexOff
-			bm.unitByChunk[u.chunkID] = j
-		}
-		clk.AdvanceBy(time.Since(cpuIdx).Seconds())
-
-		var dataBuf []byte
-		switch cfg.Mode {
-		case ModePlanes:
-			dataBuf, err = encodePlanesBin(bm, units, cfg, clk)
-		case ModeFloats:
-			dataBuf, err = encodeFloatsBin(bm, units, cfg, clk)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: bin %d: %w", b, err)
-		}
-		bm.dataSize = int64(len(dataBuf))
-		bm.indexSize = int64(len(indexBuf))
-
-		if err := fs.WriteFile(clk, binDataPath(prefix, b), dataBuf); err != nil {
+		bm.dataSize = int64(len(e.data))
+		bm.indexSize = int64(len(e.index))
+		if err := fs.WriteFile(clk, binDataPath(prefix, b), e.data); err != nil {
 			return nil, err
 		}
-		if err := fs.WriteFile(clk, binIndexPath(prefix, b), indexBuf); err != nil {
+		if err := fs.WriteFile(clk, binIndexPath(prefix, b), e.index); err != nil {
 			return nil, err
 		}
 	}
@@ -169,47 +145,258 @@ type rawUnit struct {
 	values  []float64
 }
 
+// dataRange returns the minimum and maximum of data, ignoring NaNs
+// (+Inf/-Inf when every value is NaN, which CoverRange then ignores).
+func dataRange(data []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// runWorkers runs fn(worker) from n goroutines; n == 1 runs inline so a
+// serial build pays no scheduling overhead.
+func runWorkers(n int, fn func(w int)) {
+	if n <= 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	work := func(w int) {
+		defer wg.Done()
+		fn(w)
+	}
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		// The build worker pool is intra-rank compute fan-out, not an
+		// SPMD rank: it shares one virtual clock and charges aggregated
+		// CPU via AdvanceParallel, so the mpi/stage runtimes don't apply.
+		go work(w) //mlocvet:ignore spmd-goroutine
+	}
+	wg.Wait()
+}
+
+// newSectionTimer returns the compute-measurement function for a pool
+// of nw workers. While the workers fit in the host's cores each section
+// is timed in place, preserving true concurrency; when oversubscribed,
+// sections run serialized under the simulator's measurement mutex so a
+// worker's wall-clock sample does not count the others' execution time
+// (concurrency was physically impossible anyway). Either way the
+// aggregate across workers approximates total CPU, which the caller
+// charges as total/workers via Clock.AdvanceParallel.
+func newSectionTimer(fs *pfs.Sim, nw int) func(func()) float64 {
+	if nw > runtime.GOMAXPROCS(0) {
+		return fs.MeasureSection
+	}
+	return func(fn func()) float64 {
+		t0 := time.Now()
+		fn()
+		return time.Since(t0).Seconds()
+	}
+}
+
+// binnedChunk is one chunk's pass-1 result: the bins its points fall
+// in (ascending) with the per-bin offset and value lists.
+type binnedChunk struct {
+	bins    []int32
+	offsets [][]int32
+	values  [][]float64
+}
+
+// binChunks runs pass 1: chunks are pulled off a shared counter by the
+// worker pool (each worker owning its extraction and per-bin scratch
+// arrays), and the per-chunk results are merged into perBin serially in
+// storage order, so unit order inside every bin is exactly the serial
+// build's. Worker compute is charged to clk as total/workers; the
+// cheap serial merge is charged as is.
+func binChunks(clk *pfs.Clock, fs *pfs.Sim, chunks *grid.Chunking, order []int64, data []float64, scheme *binning.Scheme, nbins, workers int) [][]rawUnit {
+	nw := workers
+	if nw > len(order) {
+		nw = len(order)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	measure := newSectionTimer(fs, nw)
+	results := make([]binnedChunk, len(order))
+	cpus := make([]float64, nw)
+	var next atomic.Int64
+	runWorkers(nw, func(w int) {
+		// Worker-owned scratch: the header arrays are reused across
+		// chunks; the per-bin slices they point at escape into results,
+		// so they reset to nil (not [:0]) each iteration.
+		var chunkBuf []float64
+		local := make([][]int32, nbins)
+		localV := make([][]float64, nbins)
+		for {
+			pos := int(next.Add(1)) - 1
+			if pos >= len(order) {
+				break
+			}
+			cpus[w] += measure(func() {
+				chunkID := order[pos]
+				chunkBuf = chunks.ExtractChunk(data, chunkID, chunkBuf[:0])
+				for b := range local {
+					local[b], localV[b] = nil, nil
+				}
+				for off, v := range chunkBuf {
+					b := scheme.BinOf(v)
+					local[b] = append(local[b], int32(off))
+					localV[b] = append(localV[b], v)
+				}
+				rc := &results[pos]
+				for b := 0; b < nbins; b++ {
+					if len(local[b]) == 0 {
+						continue
+					}
+					rc.bins = append(rc.bins, int32(b))
+					rc.offsets = append(rc.offsets, local[b])
+					rc.values = append(rc.values, localV[b])
+				}
+			})
+		}
+	})
+	var total float64
+	for _, c := range cpus {
+		total += c
+	}
+	clk.AdvanceParallel(total, nw)
+
+	t0 := time.Now()
+	perBin := make([][]rawUnit, nbins)
+	for pos, chunkID := range order {
+		rc := &results[pos]
+		for k, b := range rc.bins {
+			perBin[b] = append(perBin[b], rawUnit{chunkID: chunkID, offsets: rc.offsets[k], values: rc.values[k]})
+		}
+	}
+	clk.AdvanceBy(time.Since(t0).Seconds())
+	return perBin
+}
+
+// encodedBin is one bin's pass-2 result, produced by a worker and
+// committed by the caller in bin order.
+type encodedBin struct {
+	index []byte
+	data  []byte
+	cpu   float64
+	err   error
+}
+
+// encodeBins runs pass 2: bins are pulled off a shared counter and
+// encoded concurrently — positional index, PLoD split, plane-piece
+// compression, and layout all happen worker-side with pooled scratch —
+// leaving only the deterministic in-order commit to the caller. On the
+// first error remaining bins are skipped; the caller reports the
+// erroring bin with the lowest id (deterministic because bins are
+// pulled in ascending order).
+func encodeBins(fs *pfs.Sim, meta *storeMeta, perBin [][]rawUnit, cfg Config, nw int) []encodedBin {
+	measure := newSectionTimer(fs, nw)
+	out := make([]encodedBin, len(perBin))
+	var next atomic.Int64
+	var failed atomic.Bool
+	runWorkers(nw, func(int) {
+		sc := encodeScratchPool.Get().(*encodeScratch)
+		defer encodeScratchPool.Put(sc)
+		for {
+			b := int(next.Add(1)) - 1
+			if b >= len(perBin) {
+				break
+			}
+			if failed.Load() {
+				continue
+			}
+			e := &out[b]
+			e.cpu = measure(func() {
+				bm := &meta.bins[b]
+				units := perBin[b]
+				e.index = encodeBinIndex(bm, units)
+				switch cfg.Mode {
+				case ModePlanes:
+					e.data, e.err = encodePlanesBin(bm, units, cfg, sc)
+				case ModeFloats:
+					e.data, e.err = encodeFloatsBin(bm, units, cfg)
+				}
+			})
+			if e.err != nil {
+				failed.Store(true)
+			}
+		}
+	})
+	return out
+}
+
+// encodeScratch is one encode worker's reusable state: the PLoD split
+// buffers plus the piece-staging arena.
+type encodeScratch struct {
+	split plod.SplitScratch
+	arena []byte
+	exts  []pieceExtent
+}
+
+// pieceExtent locates one staged piece inside the scratch arena.
+type pieceExtent struct {
+	off, n int
+}
+
+var encodeScratchPool = sync.Pool{New: func() any { return new(encodeScratch) }}
+
 // encodePlanesBin encodes the units' values as PLoD byte planes and
 // lays them out plane-major (V-M-S) or chunk-major (V-S-M), recording
-// piece locations into the unit metadata.
-func encodePlanesBin(bm *binMeta, units []rawUnit, cfg Config, clk *pfs.Clock) ([]byte, error) {
-	// Encode all pieces first.
-	pieces := make([][plod.NumPlanes][]byte, len(units))
-	cpu0 := time.Now()
+// piece locations into the unit metadata. Pieces are staged into the
+// scratch arena in (unit, plane) order — compressed pieces are encoded
+// straight into it, and the split planes never escape the scratch — so
+// the only allocations left are the exactly-sized output buffer and the
+// per-bin piece-extent slab.
+func encodePlanesBin(bm *binMeta, units []rawUnit, cfg Config, sc *encodeScratch) ([]byte, error) {
+	arena := sc.arena[:0]
+	exts := sc.exts[:0]
+	defer func() {
+		sc.arena, sc.exts = arena, exts
+	}()
+	slab := make([]int64, 2*len(units)*plod.NumPlanes)
 	for j, u := range units {
-		planes := plod.Split(u.values)
+		planes := sc.split.Split(u.values)
 		for p := 0; p < plod.NumPlanes; p++ {
+			mark := len(arena)
 			if p < cfg.CompressPlanes {
-				enc, err := cfg.ByteCodec.EncodeBytes(planes[p])
+				var err error
+				arena, err = compress.AppendBytes(cfg.ByteCodec, arena, planes[p])
 				if err != nil {
 					return nil, err
 				}
 				// Store whichever form is smaller; tiny or
 				// incompressible pieces would otherwise inflate.
-				if len(enc) < len(planes[p]) {
-					pieces[j][p] = enc
-				} else {
-					pieces[j][p] = planes[p]
+				if len(arena)-mark >= len(planes[p]) {
+					arena = append(arena[:mark], planes[p]...)
 					bm.units[j].rawPlanes |= 1 << uint(p)
 				}
 			} else {
-				pieces[j][p] = planes[p]
+				arena = append(arena, planes[p]...)
 			}
+			exts = append(exts, pieceExtent{off: mark, n: len(arena) - mark})
 		}
-		bm.units[j].pieceOff = make([]int64, plod.NumPlanes)
-		bm.units[j].pieceLen = make([]int64, plod.NumPlanes)
+		lo := 2 * j * plod.NumPlanes
+		bm.units[j].pieceOff = slab[lo : lo+plod.NumPlanes : lo+plod.NumPlanes]
+		bm.units[j].pieceLen = slab[lo+plod.NumPlanes : lo+2*plod.NumPlanes : lo+2*plod.NumPlanes]
 	}
-	clk.AdvanceBy(time.Since(cpu0).Seconds())
 
-	var dataBuf []byte
+	dataBuf := make([]byte, 0, len(arena))
 	if cfg.Order.PlanesBeforeChunks() {
 		// V-M-S: all plane-0 pieces (chunks in curve order), then all
 		// plane-1 pieces, ... — PLoD-level reads are contiguous.
 		for p := 0; p < plod.NumPlanes; p++ {
 			for j := range units {
+				e := exts[j*plod.NumPlanes+p]
 				bm.units[j].pieceOff[p] = int64(len(dataBuf))
-				bm.units[j].pieceLen[p] = int64(len(pieces[j][p]))
-				dataBuf = append(dataBuf, pieces[j][p]...)
+				bm.units[j].pieceLen[p] = int64(e.n)
+				dataBuf = append(dataBuf, arena[e.off:e.off+e.n]...)
 			}
 		}
 	} else {
@@ -217,9 +404,10 @@ func encodePlanesBin(bm *binMeta, units []rawUnit, cfg Config, clk *pfs.Clock) (
 		// reads are contiguous.
 		for j := range units {
 			for p := 0; p < plod.NumPlanes; p++ {
+				e := exts[j*plod.NumPlanes+p]
 				bm.units[j].pieceOff[p] = int64(len(dataBuf))
-				bm.units[j].pieceLen[p] = int64(len(pieces[j][p]))
-				dataBuf = append(dataBuf, pieces[j][p]...)
+				bm.units[j].pieceLen[p] = int64(e.n)
+				dataBuf = append(dataBuf, arena[e.off:e.off+e.n]...)
 			}
 		}
 	}
@@ -227,20 +415,23 @@ func encodePlanesBin(bm *binMeta, units []rawUnit, cfg Config, clk *pfs.Clock) (
 }
 
 // encodeFloatsBin encodes units with the float codec, one piece each,
-// in chunk curve order.
-func encodeFloatsBin(bm *binMeta, units []rawUnit, cfg Config, clk *pfs.Clock) ([]byte, error) {
+// in chunk curve order, appending every piece directly into the bin's
+// data buffer.
+func encodeFloatsBin(bm *binMeta, units []rawUnit, cfg Config) ([]byte, error) {
 	var dataBuf []byte
-	cpu0 := time.Now()
+	slab := make([]int64, 2*len(units))
 	for j, u := range units {
-		enc, err := cfg.FloatCodec.EncodeFloats(u.values)
+		mark := len(dataBuf)
+		var err error
+		dataBuf, err = compress.AppendFloats(cfg.FloatCodec, dataBuf, u.values)
 		if err != nil {
 			return nil, err
 		}
-		bm.units[j].pieceOff = []int64{int64(len(dataBuf))}
-		bm.units[j].pieceLen = []int64{int64(len(enc))}
-		dataBuf = append(dataBuf, enc...)
+		bm.units[j].pieceOff = slab[2*j : 2*j+1 : 2*j+1]
+		bm.units[j].pieceLen = slab[2*j+1 : 2*j+2 : 2*j+2]
+		bm.units[j].pieceOff[0] = int64(mark)
+		bm.units[j].pieceLen[0] = int64(len(dataBuf) - mark)
 	}
-	clk.AdvanceBy(time.Since(cpu0).Seconds())
 	return dataBuf, nil
 }
 

@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"mloc/internal/compress"
 	"mloc/internal/sfc"
@@ -147,6 +148,12 @@ type Config struct {
 	SampleSize int
 	// Assignment is the block-to-rank policy (default column order).
 	Assignment Assignment
+	// BuildWorkers bounds the worker pool Build fans chunk binning and
+	// per-bin encoding over; 0 means GOMAXPROCS. The produced store is
+	// byte-identical for every worker count (see README §Parallel
+	// builds), and the virtual clock charges the aggregated compute as
+	// total/workers wall-equivalent.
+	BuildWorkers int
 }
 
 // DefaultConfig returns the paper's MLOC-COL configuration for a given
@@ -230,5 +237,16 @@ func (c *Config) normalize() error {
 	if c.Assignment != AssignColumn && c.Assignment != AssignRoundRobin {
 		return fmt.Errorf("core: unknown assignment %q", c.Assignment)
 	}
+	if c.BuildWorkers < 0 {
+		return fmt.Errorf("core: BuildWorkers %d < 0", c.BuildWorkers)
+	}
 	return nil
+}
+
+// buildWorkers resolves the effective worker count (0 = GOMAXPROCS).
+func (c *Config) buildWorkers() int {
+	if c.BuildWorkers > 0 {
+		return c.BuildWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }

@@ -155,6 +155,43 @@ func TestAllSystemsAgreeOnCombinedQueries(t *testing.T) {
 	sys.runAll(t, &query.Request{VC: &vc, SC: &sc}, 5, "combined")
 }
 
+// TestEdgeBinClampedValuesFiltered is a regression test: bin boundaries
+// are estimated from a sample, so data values below the first bound (or
+// above the last) exist and BinOf clamps them into the edge bins. A
+// constraint that covered bin 0's nominal interval used to classify it
+// aligned and return those clamped values unfiltered (found by
+// TestAllSystemsAgreeQuick with seed -1800124551037682200); builders
+// now widen the outer bounds to the true data extremes.
+func TestEdgeBinClampedValuesFiltered(t *testing.T) {
+	sys := buildAll(t)
+	for _, st := range sys.mloc {
+		b := st.Scheme().Bounds()
+		lo, hi := b[0], b[len(b)-1]
+		for i, v := range sys.data {
+			if v < lo || v > hi {
+				t.Fatalf("value %v at %d outside scheme bounds [%v, %v]", v, i, lo, hi)
+			}
+		}
+	}
+	// The quick-check failure's constraint: Min sits above several data
+	// values that the sampled bin-0 lower bound used to exclude.
+	vc := binning.ValueConstraint{Min: 8.044075841799517, Max: 9.758988479018614}
+	sys.runAll(t, &query.Request{VC: &vc}, 3, "edge-bin")
+	// And a constraint entirely below the sampled first bound must
+	// still find the clamped values instead of pruning every bin.
+	min, max := sys.data[0], sys.data[0]
+	for _, v := range sys.data {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	sys.runAll(t, &query.Request{VC: &binning.ValueConstraint{Min: min, Max: min + 0.05}}, 2, "bottom-edge")
+	sys.runAll(t, &query.Request{VC: &binning.ValueConstraint{Min: max - 0.05, Max: max}}, 2, "top-edge")
+}
+
 func TestAllSystemsAgreeQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("quick cross-system property test")

@@ -37,6 +37,30 @@ type binMeta struct {
 	indexSize   int64
 }
 
+// encodeBinIndex fills bm's unit metadata from the bin's raw units (in
+// storage order) and returns the bin's positional index file: per unit,
+// the ascending intra-chunk offsets as delta uvarints. Build's encode
+// workers call it concurrently, one worker per bin.
+func encodeBinIndex(bm *binMeta, units []rawUnit) []byte {
+	bm.units = make([]unitMeta, len(units))
+	bm.unitByChunk = make(map[int64]int, len(units))
+	var indexBuf []byte
+	for j, u := range units {
+		um := &bm.units[j]
+		um.chunkID = u.chunkID
+		um.count = int32(len(u.offsets))
+		um.indexOff = int64(len(indexBuf))
+		prev := int32(0)
+		for _, off := range u.offsets {
+			indexBuf = binary.AppendUvarint(indexBuf, uint64(off-prev))
+			prev = off
+		}
+		um.indexLen = int64(len(indexBuf)) - um.indexOff
+		bm.unitByChunk[u.chunkID] = j
+	}
+	return indexBuf
+}
+
 // storeMeta is the full persistent description of a built variable
 // store; it is serialized to <prefix>/meta and its size counts toward
 // the index overhead in the storage experiments.

@@ -86,6 +86,20 @@ func Build(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []
 	if err != nil {
 		return nil, err
 	}
+	// The sample may miss the data extremes, and BinOf clamps
+	// out-of-range values into the edge bins; widen the outer bounds so
+	// the aligned-bin bitmap path never returns a clamped value that
+	// violates the constraint (same fix as core's builder).
+	lo, hi := data[0], data[0]
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scheme = scheme.CoverRange(lo, hi)
 
 	// One plain bitmap per bin, then WAH-compress.
 	n := int64(len(data))

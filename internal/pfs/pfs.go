@@ -166,6 +166,25 @@ func (c *Clock) MeasureCPU(fn func()) float64 {
 	return c.AdvanceCPU(time.Since(t0).Seconds())
 }
 
+// AdvanceParallel charges compute that ran fanned out over a bounded
+// worker pool: total is the summed measured seconds across all workers,
+// and the clock advances by the wall-equivalent total/workers. With
+// workers = 1 this is exactly AdvanceBy, so serial and parallel builds
+// charge the same total compute and differ only by the parallelism
+// divisor (DESIGN.md cost-model notes). The returned value is the
+// charged delta.
+func (c *Clock) AdvanceParallel(total float64, workers int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	d := total / float64(workers)
+	c.now += d
+	return d
+}
+
 // SyncMax advances the clock to the maximum of its own and all the
 // given clocks' times — a barrier/gather in virtual time.
 func (c *Clock) SyncMax(others ...*Clock) {
@@ -271,6 +290,22 @@ func (s *Sim) NewClocks(n int) []*Clock {
 		out[i] = c
 	}
 	return out
+}
+
+// MeasureSection runs fn under the simulator's CPU-measurement mutex
+// (the one Clock.MeasureCPU uses) and returns its wall-clock seconds
+// without advancing any clock. Parallel builders use it when their
+// worker count exceeds the host's cores: oversubscribed concurrent
+// sections would otherwise count each other's execution time, inflating
+// the aggregate CPU that Clock.AdvanceParallel divides by the worker
+// count. When workers fit in the host's cores, callers should time
+// sections directly and keep true concurrency.
+func (s *Sim) MeasureSection(fn func()) float64 {
+	s.cpuMu.Lock()
+	defer s.cpuMu.Unlock()
+	t0 := time.Now()
+	fn()
+	return time.Since(t0).Seconds()
 }
 
 // byteScale returns the effective transfer-time multiplier.

@@ -399,6 +399,65 @@ func TestWriteFileEmptyPathRejected(t *testing.T) {
 	}
 }
 
+func TestClockAdvanceParallel(t *testing.T) {
+	clk := NewClock()
+	// 8 seconds of aggregate CPU across 4 workers charges 2 wall-seconds.
+	if d := clk.AdvanceParallel(8, 4); d != 2 {
+		t.Fatalf("AdvanceParallel(8,4) = %v, want 2", d)
+	}
+	if clk.Now() != 2 {
+		t.Fatalf("clock at %v, want 2", clk.Now())
+	}
+	// Degenerate worker counts clamp to serial; non-positive totals are
+	// ignored like AdvanceBy.
+	if d := clk.AdvanceParallel(3, 0); d != 3 {
+		t.Fatalf("AdvanceParallel(3,0) = %v, want 3", d)
+	}
+	if d := clk.AdvanceParallel(-1, 2); d != 0 {
+		t.Fatalf("AdvanceParallel(-1,2) = %v, want 0", d)
+	}
+	if clk.Now() != 5 {
+		t.Fatalf("clock at %v, want 5", clk.Now())
+	}
+}
+
+func TestMeasureSectionSerializesAndTimes(t *testing.T) {
+	s := New(testConfig())
+	// Sections from concurrent goroutines run one at a time under the
+	// measurement mutex, so each sample times only its own work.
+	var inside, maxInside, entered int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d := s.MeasureSection(func() {
+				mu.Lock()
+				inside++
+				entered++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				mu.Unlock()
+				mu.Lock()
+				inside--
+				mu.Unlock()
+			})
+			if d < 0 {
+				t.Errorf("negative section time %v", d)
+			}
+		}()
+	}
+	wg.Wait()
+	if entered != 4 {
+		t.Fatalf("ran %d sections, want 4", entered)
+	}
+	if maxInside != 1 {
+		t.Fatalf("%d sections overlapped under MeasureSection", maxInside)
+	}
+}
+
 func TestDefaultConfigSeqScanCalibration(t *testing.T) {
 	// DESIGN.md calibration: an 8 GB sequential scan on the default
 	// config should land near the paper's ~20 s (Table II seq-scan).

@@ -19,6 +19,7 @@ package plod
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NumPlanes is the number of byte planes (7: one 2-byte plane plus six
@@ -75,13 +76,26 @@ func checkLevel(level int) {
 // Split decomposes values into the seven byte planes. Plane p has
 // len(values)*PlaneWidth(p) bytes, with each value's contribution
 // stored contiguously in value order (so plane streams compress well
-// and partial reads are sequential).
+// and partial reads are sequential). Every call allocates fresh plane
+// buffers; encoders that split many units per build should reuse a
+// pooled SplitScratch instead.
 func Split(values []float64) [NumPlanes][]byte {
 	var planes [NumPlanes][]byte
+	splitInto(values, &planes)
+	return planes
+}
+
+// splitInto fills planes from values, reusing each plane's capacity
+// when it suffices.
+func splitInto(values []float64, planes *[NumPlanes][]byte) {
 	n := len(values)
-	planes[0] = make([]byte, 2*n)
-	for p := 1; p < NumPlanes; p++ {
-		planes[p] = make([]byte, n)
+	for p := 0; p < NumPlanes; p++ {
+		need := n * PlaneWidth(p)
+		if cap(planes[p]) >= need {
+			planes[p] = planes[p][:need]
+		} else {
+			planes[p] = make([]byte, need)
+		}
 	}
 	for i, v := range values {
 		bits := math.Float64bits(v)
@@ -94,8 +108,32 @@ func Split(values []float64) [NumPlanes][]byte {
 		planes[5][i] = byte(bits >> 8)
 		planes[6][i] = byte(bits)
 	}
-	return planes
 }
+
+// SplitScratch holds reusable plane buffers for Split, so per-unit
+// splits in a build loop stop allocating seven fresh slices each time.
+// A scratch is single-owner (not safe for concurrent use); builders
+// keep one per worker via GetSplitScratch/PutSplitScratch.
+type SplitScratch struct {
+	planes [NumPlanes][]byte
+}
+
+// Split is Split reusing the scratch's buffers. The returned planes
+// alias the scratch and are valid only until its next Split call;
+// callers must copy (or compress) every plane they keep.
+func (s *SplitScratch) Split(values []float64) [NumPlanes][]byte {
+	splitInto(values, &s.planes)
+	return s.planes
+}
+
+var splitScratchPool = sync.Pool{New: func() any { return new(SplitScratch) }}
+
+// GetSplitScratch takes a scratch from the package pool.
+func GetSplitScratch() *SplitScratch { return splitScratchPool.Get().(*SplitScratch) }
+
+// PutSplitScratch returns a scratch to the package pool. The caller
+// must not use previously returned planes afterwards.
+func PutSplitScratch(s *SplitScratch) { splitScratchPool.Put(s) }
 
 // FillPolicy selects how absent low-order bytes are synthesized during
 // partial reassembly.

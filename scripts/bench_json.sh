@@ -1,0 +1,63 @@
+#!/bin/sh
+# bench_json.sh — run BenchmarkBuildParallel and distill its output into
+# BENCH_build.json, the recorded build-bench trajectory: per mode and
+# worker count, wall ns/op, allocs/op, B/op, the virtual-clock build
+# time (virt-s/op), and both speedups relative to the 1-worker run of
+# the same mode. CI uploads the file as an artifact; the committed copy
+# is the checkpoint the next optimization PR measures against.
+#
+#   ./scripts/bench_json.sh [output.json]   (default BENCH_build.json)
+#   BENCHTIME=10x ./scripts/bench_json.sh   longer runs for stabler numbers
+set -eu
+cd "$(dirname "$0")/.."
+out=${1:-BENCH_build.json}
+benchtime=${BENCHTIME:-5x}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+go test ./internal/core -run '^$' -bench '^BenchmarkBuildParallel$' \
+	-benchmem -benchtime "$benchtime" | tee "$raw"
+
+# Each result line looks like
+#   BenchmarkBuildParallel/planes/w=4-8  3  50046548 ns/op  10.48 MB/s \
+#       0.02391 virt-s/op  6950792 B/op  28584 allocs/op
+# (the trailing -8 is GOMAXPROCS and only appears when it isn't 1).
+# Scan for the unit tokens rather than hard-coding field positions.
+awk -v benchtime="$benchtime" -v goversion="$(go env GOVERSION)" '
+/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+/^BenchmarkBuildParallel\// {
+	split($1, parts, "/")
+	mode = parts[2]
+	workers = parts[3]
+	sub(/-[0-9]+$/, "", workers)
+	ns = allocs = bytes = virt = 0
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		else if ($(i + 1) == "allocs/op") allocs = $i
+		else if ($(i + 1) == "B/op") bytes = $i
+		else if ($(i + 1) == "virt-s/op") virt = $i
+	}
+	if (workers == "w=1") { baseNs[mode] = ns; baseVirt[mode] = virt }
+	n++
+	rmode[n] = mode; rworkers[n] = workers
+	rns[n] = ns; rallocs[n] = allocs; rbytes[n] = bytes; rvirt[n] = virt
+}
+END {
+	if (n == 0) { print "bench_json: no benchmark results parsed" > "/dev/stderr"; exit 1 }
+	printf "{\n"
+	printf "  \"benchmark\": \"BenchmarkBuildParallel\",\n"
+	printf "  \"benchtime\": \"%s\",\n", benchtime
+	printf "  \"go\": \"%s\",\n", goversion
+	printf "  \"cpu\": \"%s\",\n", cpu
+	printf "  \"results\": [\n"
+	for (i = 1; i <= n; i++) {
+		m = rmode[i]
+		ws = (baseNs[m] > 0 && rns[i] > 0) ? baseNs[m] / rns[i] : 0
+		vs = (baseVirt[m] > 0 && rvirt[i] > 0) ? baseVirt[m] / rvirt[i] : 0
+		printf "    {\"mode\": \"%s\", \"workers\": \"%s\", \"ns_op\": %d, \"allocs_op\": %d, \"bytes_op\": %d, \"virt_s_op\": %g, \"wall_speedup\": %.3f, \"virt_speedup\": %.3f}%s\n", \
+			m, rworkers[i], rns[i], rallocs[i], rbytes[i], rvirt[i], ws, vs, (i < n ? "," : "")
+	}
+	printf "  ]\n}\n"
+}
+' "$raw" >"$out"
+echo "wrote $out"
