@@ -4,9 +4,9 @@ FUZZTIME ?= 10s
 # Packages exercising the goroutine-based SPMD runtime and the
 # concurrent query service — the ones where a data race would actually
 # bite.
-RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage ./internal/cache ./internal/server
+RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage ./internal/cache ./internal/server ./internal/obs
 
-.PHONY: build test vet mlocvet mlocvet-baseline race bench-json fuzz-short fuzz-list fuzz-list-check serve-smoke check
+.PHONY: build test vet mlocvet mlocvet-baseline race bench-json fuzz-short fuzz-list fuzz-list-check serve-smoke obslint check
 
 build:
 	$(GO) build ./...
@@ -59,9 +59,15 @@ fuzz-list-check:
 	./scripts/list_fuzz.sh --check
 
 ## serve-smoke: boot mlocd, query it twice via mlocctl, assert the
-## second query hits the shared decode cache, drain gracefully.
+## second query hits the shared decode cache, validate /metrics,
+## /debug/traces, pprof, and the slow-query log, drain gracefully.
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+## obslint: promtool-style validation of the metrics exposition and
+## trace dumps against an in-process server (cmd/mloclint).
+obslint:
+	$(GO) run ./cmd/mloclint -selfcheck
+
 ## check: everything CI runs (minus the fuzzing).
-check: build test vet fuzz-list-check race serve-smoke
+check: build test vet fuzz-list-check race obslint serve-smoke

@@ -15,6 +15,7 @@
 //	mlocctl run   -dataset gts -side 512 [flags]      # generate inline
 //	mlocctl query -remote HOST:PORT -var NAME [flags] # query a running mlocd
 //	mlocctl stats -remote HOST:PORT                   # mlocd counters, one "key value" per line
+//	mlocctl trace -remote HOST:PORT [-id N]           # retained query traces (span trees)
 //
 // Run flags:
 //
@@ -66,6 +67,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "stats":
 		err = cmdStats(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -77,7 +80,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mlocctl <gen|run|query|stats> [flags]   (run `mlocctl <cmd> -h` for flags)")
+	fmt.Fprintln(os.Stderr, "usage: mlocctl <gen|run|query|stats|trace> [flags]   (run `mlocctl <cmd> -h` for flags)")
 }
 
 func cmdGen(args []string) error {
@@ -253,8 +256,9 @@ func cmdRun(args []string) error {
 		fmt.Println("no -vc or -sc given; store built, skipping query")
 		return nil
 	}
+	var plan *core.Plan
 	if *explain {
-		plan, err := st.Explain(req)
+		plan, err = st.Explain(req)
 		if err != nil {
 			return err
 		}
@@ -266,6 +270,12 @@ func cmdRun(args []string) error {
 	res, err := st.Query(req, *ranks)
 	if err != nil {
 		return err
+	}
+	if plan != nil {
+		// -explain prints predicted cost above; append the measured
+		// breakdown of the execution that just happened.
+		plan.Observe(res)
+		fmt.Print(plan.Measured.String())
 	}
 	fmt.Printf("query: %d matches, %d bins touched, %d blocks read, %.2f MB read\n",
 		len(res.Matches), res.BinsAccessed, res.BlocksRead, float64(res.BytesRead)/1e6)

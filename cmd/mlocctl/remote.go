@@ -6,11 +6,13 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"mloc/internal/grid"
+	"mloc/internal/obs"
 )
 
 // remoteClient is the shared HTTP plumbing of the query/stats
@@ -154,6 +156,7 @@ func cmdQuery(args []string) error {
 			Total       float64 `json:"total"`
 		} `json:"time"`
 		QueuedMS float64 `json:"queued_ms"`
+		TraceID  uint64  `json:"trace_id"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 		return err
@@ -165,6 +168,10 @@ func cmdQuery(args []string) error {
 	}
 	fmt.Printf("query: %d matches, %d bins touched, %d blocks read, %.2f MB read, %d cache hits\n",
 		res.MatchesTotal, res.BinsAccessed, res.BlocksRead, float64(res.BytesRead)/1e6, res.CacheHits)
+	if res.TraceID != 0 {
+		fmt.Printf("  trace: %d (inspect with `mlocctl trace -remote %s -id %d`)\n",
+			res.TraceID, *remote, res.TraceID)
+	}
 	fmt.Printf("  time: io %.4fs, decompress %.4fs, reconstruct %.4fs, total %.4fs (virtual)\n",
 		res.Time.IO, res.Time.Decompress, res.Time.Reconstruct, res.Time.Total)
 	for i, m := range res.Matches {
@@ -182,6 +189,45 @@ func cmdQuery(args []string) error {
 	if res.Truncated {
 		fmt.Printf("  (response truncated to %d of %d matches)\n", len(res.Matches), res.MatchesTotal)
 	}
+	return nil
+}
+
+// cmdTrace lists or renders the span trees mlocd retains for recent
+// queries and builds (GET /debug/traces).
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	remote := fs.String("remote", "", "mlocd address, e.g. 127.0.0.1:8080")
+	id := fs.Uint64("id", 0, "trace id to render in full (0 = one-line summary per retained trace)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	if *id != 0 {
+		var td obs.TraceDump
+		if err := client.getJSON(fmt.Sprintf("/debug/traces?id=%d", *id), &td); err != nil {
+			return err
+		}
+		return td.Render(os.Stdout)
+	}
+	var all []obs.TraceDump
+	if err := client.getJSON("/debug/traces", &all); err != nil {
+		return err
+	}
+	if len(all) == 0 {
+		fmt.Println("no traces retained")
+		return nil
+	}
+	for _, td := range all {
+		wall := 0.0
+		if td.Root != nil {
+			wall = td.Root.WallMS
+		}
+		fmt.Printf("trace %d %q: %d spans, %.3fms wall\n", td.ID, td.Name, td.Spans, wall)
+	}
+	fmt.Printf("(render one with -id N)\n")
 	return nil
 }
 

@@ -99,6 +99,31 @@ func TestCmdStatsRemote(t *testing.T) {
 	}
 }
 
+func TestCmdTraceRemote(t *testing.T) {
+	ts := startTestDaemon(t)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+	// Before any query there is nothing to render but the listing works.
+	if err := cmdTrace([]string{"-remote", addr}); err != nil {
+		t.Fatalf("cmdTrace on empty ring: %v", err)
+	}
+	if err := cmdQuery([]string{"-remote", addr, "-var", "phi", "-vc", "-1e30:1e30"}); err != nil {
+		t.Fatalf("cmdQuery: %v", err)
+	}
+	if err := cmdTrace([]string{"-remote", addr}); err != nil {
+		t.Fatalf("cmdTrace listing: %v", err)
+	}
+	// The first query's trace id is 1 (tracer ids are sequential).
+	if err := cmdTrace([]string{"-remote", addr, "-id", "1"}); err != nil {
+		t.Fatalf("cmdTrace -id 1: %v", err)
+	}
+	if err := cmdTrace([]string{"-remote", addr, "-id", "999"}); err == nil {
+		t.Error("unretained trace id produced no error")
+	}
+	if err := cmdTrace([]string{}); err == nil {
+		t.Error("missing -remote accepted")
+	}
+}
+
 func TestRemoteShapeLookup(t *testing.T) {
 	ts := startTestDaemon(t)
 	addr := strings.TrimPrefix(ts.URL, "http://")

@@ -16,10 +16,18 @@
 //
 // Endpoints:
 //
-//	POST /query    {"var":..., "vc":{"min":..,"max":..}, "sc":{"lo":[..],"hi":[..]}, "plod":N, "ranks":N, "index_only":bool}
-//	GET  /stats    flat JSON counters (admission, outcomes, cache)
-//	GET  /vars     served variables with shapes
-//	GET  /healthz  readiness (503 while draining)
+//	POST /query         {"var":..., "vc":{"min":..,"max":..}, "sc":{"lo":[..],"hi":[..]}, "plod":N, "ranks":N, "index_only":bool}
+//	GET  /stats         flat JSON counters (admission, outcomes, cache)
+//	GET  /vars          served variables with shapes
+//	GET  /healthz       readiness (503 while draining)
+//	GET  /metrics       Prometheus text exposition (server, cache, PFS families)
+//	GET  /debug/traces  retained span trees, newest first (?id=N for one)
+//	GET  /debug/pprof/  Go runtime profiles (only with -pprof)
+//
+// Every query (and each startup store build) runs under a trace whose
+// span tree decomposes its virtual latency into fetch, decode,
+// reassemble, and filter work; /query responses carry the trace_id.
+// Queries slower than -slow-query-threshold (wall clock) are logged.
 //
 // On SIGINT/SIGTERM the daemon stops admitting queries (503 +
 // Retry-After), drains in-flight ones up to -drain-timeout, then exits.
@@ -33,6 +41,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -44,6 +53,7 @@ import (
 	"mloc/internal/core"
 	"mloc/internal/datagen"
 	"mloc/internal/grid"
+	"mloc/internal/obs"
 	"mloc/internal/pfs"
 	"mloc/internal/server"
 )
@@ -80,6 +90,9 @@ func run(args []string) error {
 	cacheMB := fs.Int("cache-mb", 64, "shared decode cache size in MiB (0 disables)")
 	maxMatches := fs.Int("max-matches", 65536, "matches returned per response")
 	drainTimeout := fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget for in-flight queries")
+	pprofOn := fs.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/")
+	slowQuery := fs.Duration("slow-query-threshold", 0, "log queries slower than this wall-clock duration (0 disables)")
+	traceBuffer := fs.Int("trace-buffer", obs.DefaultTraceCapacity, "query traces retained for /debug/traces")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,8 +104,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(*traceBuffer)
 	sim := pfs.New(pfs.DefaultConfig())
-	stores, err := buildStores(sim, specs, cfgTemplate)
+	sim.Instrument(reg)
+	stores, err := buildStores(sim, specs, cfgTemplate, tracer)
 	if err != nil {
 		return err
 	}
@@ -109,23 +125,41 @@ func run(args []string) error {
 		}
 	}
 	svc, err := server.New(server.Config{
-		Stores:        stores,
-		Cache:         c,
-		MaxConcurrent: *maxConcurrent,
-		MaxQueue:      *maxQueue,
-		QueueWait:     *queueWait,
-		DefaultRanks:  *ranks,
-		MaxMatches:    *maxMatches,
+		Stores:             stores,
+		Cache:              c,
+		MaxConcurrent:      *maxConcurrent,
+		MaxQueue:           *maxQueue,
+		QueueWait:          *queueWait,
+		DefaultRanks:       *ranks,
+		MaxMatches:         *maxMatches,
+		Registry:           reg,
+		Tracer:             tracer,
+		SlowQueryThreshold: *slowQuery,
 	})
 	if err != nil {
 		return err
+	}
+
+	handler := svc.Handler()
+	if *pprofOn {
+		// Runtime profiles ride on an outer mux so they exist only when
+		// asked for; everything else falls through to the service.
+		outer := http.NewServeMux()
+		outer.Handle("/", handler)
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = outer
+		fmt.Println("mlocd: pprof enabled at /debug/pprof/")
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	fmt.Printf("mlocd: listening on %s\n", ln.Addr())
 
 	sigc := make(chan os.Signal, 1)
@@ -184,8 +218,10 @@ func storeConfig(mode, chunkStr string, bins int, orderStr string) (core.Config,
 	return cfg, nil
 }
 
-// buildStores materializes every -store spec onto the PFS.
-func buildStores(sim *pfs.Sim, specs []string, template core.Config) (map[string]*core.Store, error) {
+// buildStores materializes every -store spec onto the PFS. Each build
+// runs under its own retained trace, so /debug/traces explains startup
+// cost span by span.
+func buildStores(sim *pfs.Sim, specs []string, template core.Config, tracer *obs.Tracer) (map[string]*core.Store, error) {
 	stores := make(map[string]*core.Store, len(specs))
 	for _, spec := range specs {
 		name, data, shape, err := loadSpec(spec)
@@ -199,7 +235,10 @@ func buildStores(sim *pfs.Sim, specs []string, template core.Config) (map[string
 		if cfg.ChunkSize == nil {
 			cfg.ChunkSize = defaultChunk(shape)
 		}
-		st, err := core.Build(sim, sim.NewClock(), "mlocd/"+name, shape, data, cfg)
+		ctx, root := tracer.StartTrace(context.Background(), "build")
+		root.SetString("store", name)
+		st, err := core.BuildContext(ctx, sim, sim.NewClock(), "mlocd/"+name, shape, data, cfg)
+		root.End()
 		if err != nil {
 			return nil, fmt.Errorf("building %q: %w", name, err)
 		}

@@ -13,6 +13,7 @@ import (
 
 	"mloc/internal/cache"
 	"mloc/internal/core"
+	"mloc/internal/obs"
 	"mloc/internal/pfs"
 	"mloc/internal/server"
 )
@@ -103,14 +104,23 @@ func TestBuildStoresAndServe(t *testing.T) {
 	}
 	cfg.SampleSize = 256
 	sim := pfs.New(pfs.DefaultConfig())
-	stores, err := buildStores(sim, []string{"phi=gts:32:1", "chi=gts:32:2"}, cfg)
+	tracer := obs.NewTracer(4)
+	stores, err := buildStores(sim, []string{"phi=gts:32:1", "chi=gts:32:2"}, cfg, tracer)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(stores) != 2 {
 		t.Fatalf("built %d stores, want 2", len(stores))
 	}
-	if _, err := buildStores(sim, []string{"a=gts:16", "a=gts:16"}, cfg); err == nil {
+	if tracer.Len() != 2 {
+		t.Errorf("retained %d build traces, want one per store", tracer.Len())
+	}
+	for _, td := range tracer.Dump() {
+		if td.Root.Find("pass_binning") == nil || td.Root.Find("pass_encode") == nil {
+			t.Errorf("build trace %d missing pass spans", td.ID)
+		}
+	}
+	if _, err := buildStores(sim, []string{"a=gts:16", "a=gts:16"}, cfg, obs.NewTracer(4)); err == nil {
 		t.Error("duplicate store name accepted")
 	}
 

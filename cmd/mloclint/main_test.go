@@ -1,0 +1,36 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSelfCheck(t *testing.T) {
+	if err := selfCheck(); err != nil {
+		t.Fatalf("selfcheck: %v", err)
+	}
+}
+
+func TestLintExpositionRejectsMalformed(t *testing.T) {
+	if err := lintExposition("bad_name_total 1\n"); err == nil {
+		t.Error("malformed exposition accepted")
+	}
+	good := "# HELP mloc_x_total X.\n# TYPE mloc_x_total counter\nmloc_x_total 1\n"
+	if err := lintExposition(good); err != nil {
+		t.Errorf("valid exposition rejected: %v", err)
+	}
+}
+
+func TestRunFileMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "exp.txt")
+	if err := os.WriteFile(path, []byte("# TYPE mloc_x_total counter\nmloc_x_total notanumber\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-file", path}); err == nil {
+		t.Error("bad exposition file accepted")
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("no mode flags accepted")
+	}
+}

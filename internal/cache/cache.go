@@ -16,6 +16,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"mloc/internal/obs"
 )
 
 // Key identifies one decoded storage unit: the owning store (its PFS
@@ -35,7 +38,11 @@ type Key struct {
 	Level int
 }
 
-// Stats is a point-in-time snapshot of the cache counters.
+// Stats is a point-in-time snapshot of the cache counters. Each
+// shard's contribution is read in a single lock acquisition together
+// with its residency numbers, so the snapshot is mutually consistent
+// per shard (no torn reads between a shard's counters and its
+// entries/bytes).
 type Stats struct {
 	// Hits counts lookups answered from a resident entry (including
 	// single-flight waiters that reused another query's decode).
@@ -47,6 +54,9 @@ type Stats struct {
 	// Waits counts single-flight waiters that blocked on another
 	// caller's in-progress compute instead of decoding themselves.
 	Waits int64
+	// Suppressed counts duplicate computes avoided by single-flight:
+	// waiters that went on to reuse the leader's successful result.
+	Suppressed int64
 	// Entries is the current resident entry count.
 	Entries int
 	// Bytes is the current resident cost in bytes.
@@ -68,12 +78,16 @@ type Cache struct {
 	shards   [numShards]shard
 	capacity int64
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
-	waits     atomic.Int64
+	// lookupHist, when set by Instrument, observes the wall latency of
+	// every Get/GetOrCompute cache probe. Atomic because Instrument may
+	// run after the cache is already serving lookups.
+	lookupHist atomic.Pointer[obs.Histogram]
 }
 
+// shard counters live next to the data they describe, under the same
+// mutex: mutating them costs nothing extra on paths that already hold
+// the lock, and Stats can read a shard's counters and residency in one
+// consistent acquisition.
 type shard struct {
 	mu       sync.Mutex
 	max      int64
@@ -81,6 +95,12 @@ type shard struct {
 	lru      *list.List // front = most recently used; Value is *entry
 	entries  map[Key]*list.Element
 	inflight map[Key]*flight
+
+	hits       int64
+	misses     int64
+	evictions  int64
+	waits      int64
+	suppressed int64
 }
 
 type entry struct {
@@ -118,6 +138,47 @@ func New(maxBytes int64) (*Cache, error) {
 	return c, nil
 }
 
+// Instrument registers the cache's metrics on reg: hit/miss/evict/
+// wait/suppressed counters, bytes-in-use and entry gauges, the
+// configured capacity, and a lookup-latency histogram observed on
+// every probe. Call once per cache per registry.
+func (c *Cache) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("mloc_cache_hits_total",
+		"Cache lookups answered from a resident entry or a shared single-flight result.",
+		func() float64 { return float64(c.Stats().Hits) })
+	reg.CounterFunc("mloc_cache_misses_total",
+		"Cache lookups that ran the decode.",
+		func() float64 { return float64(c.Stats().Misses) })
+	reg.CounterFunc("mloc_cache_evictions_total",
+		"Entries evicted by the byte bound.",
+		func() float64 { return float64(c.Stats().Evictions) })
+	reg.CounterFunc("mloc_cache_waits_total",
+		"Single-flight waiters that blocked on another caller's compute.",
+		func() float64 { return float64(c.Stats().Waits) })
+	reg.CounterFunc("mloc_cache_suppressed_total",
+		"Duplicate decodes suppressed by single-flight (waiters that reused the leader's result).",
+		func() float64 { return float64(c.Stats().Suppressed) })
+	reg.GaugeFunc("mloc_cache_bytes",
+		"Resident decoded bytes (including per-entry overhead).",
+		func() float64 { return float64(c.Bytes()) })
+	reg.GaugeFunc("mloc_cache_entries",
+		"Resident entry count.",
+		func() float64 { return float64(c.Len()) })
+	reg.GaugeFunc("mloc_cache_capacity_bytes",
+		"Configured cache capacity in bytes.",
+		func() float64 { return float64(c.capacity) })
+	c.lookupHist.Store(reg.Histogram("mloc_cache_lookup_seconds",
+		"Wall latency of cache probes (Get and GetOrCompute, including any compute).",
+		obs.DefSecondsBuckets()))
+}
+
+// observeLookup records a probe's wall latency when instrumented.
+func (c *Cache) observeLookup(start time.Time) {
+	if h := c.lookupHist.Load(); h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
 // shardFor hashes the key to a shard (FNV-1a over the key fields).
 func (c *Cache) shardFor(k Key) *shard {
 	h := uint64(14695981039346656037)
@@ -137,17 +198,17 @@ func (c *Cache) shardFor(k Key) *shard {
 // precede a batched read would double-count otherwise); only
 // GetOrCompute records misses.
 func (c *Cache) Get(key Key) (vals []float64, ok bool) {
+	start := time.Now()
+	defer c.observeLookup(start)
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	el, ok := sh.entries[key]
 	if ok {
 		sh.lru.MoveToFront(el)
 		vals = el.Value.(*entry).vals
+		sh.hits++
 	}
 	sh.mu.Unlock()
-	if ok {
-		c.hits.Add(1)
-	}
 	return vals, ok
 }
 
@@ -159,24 +220,29 @@ func (c *Cache) Get(key Key) (vals []float64, ok bool) {
 // itself, i.e. the values came from the cache or from another caller's
 // flight.
 func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() ([]float64, error)) (vals []float64, hit bool, err error) {
+	start := time.Now()
+	defer c.observeLookup(start)
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if el, ok := sh.entries[key]; ok {
 		sh.lru.MoveToFront(el)
 		vals = el.Value.(*entry).vals
+		sh.hits++
 		sh.mu.Unlock()
-		c.hits.Add(1)
 		return vals, true, nil
 	}
 	if fl, ok := sh.inflight[key]; ok {
+		sh.waits++
 		sh.mu.Unlock()
-		c.waits.Add(1)
 		select {
 		case <-fl.done:
 			if fl.err != nil {
 				return nil, false, fl.err
 			}
-			c.hits.Add(1)
+			sh.mu.Lock()
+			sh.hits++
+			sh.suppressed++
+			sh.mu.Unlock()
 			return fl.vals, true, nil
 		case <-ctx.Done():
 			return nil, false, fmt.Errorf("cache: waiting for %v/%d/%d@%d: %w",
@@ -185,8 +251,8 @@ func (c *Cache) GetOrCompute(ctx context.Context, key Key, compute func() ([]flo
 	}
 	fl := &flight{done: make(chan struct{})}
 	sh.inflight[key] = fl
+	sh.misses++
 	sh.mu.Unlock()
-	c.misses.Add(1)
 
 	// The flight must resolve even if compute panics, or waiters would
 	// block forever; the panic is re-raised after cleanup.
@@ -253,7 +319,7 @@ func (c *Cache) insertLocked(sh *shard, key Key, vals []float64) {
 		sh.lru.Remove(tail)
 		delete(sh.entries, ev.key)
 		sh.bytes -= ev.cost
-		c.evictions.Add(1)
+		sh.evictions++
 	}
 }
 
@@ -281,18 +347,18 @@ func (c *Cache) Bytes() int64 {
 	return b
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters: one lock acquisition per
+// shard reads that shard's counters and residency together.
 func (c *Cache) Stats() Stats {
-	s := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Waits:     c.waits.Load(),
-		Capacity:  c.capacity,
-	}
+	s := Stats{Capacity: c.capacity}
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
+		s.Hits += sh.hits
+		s.Misses += sh.misses
+		s.Evictions += sh.evictions
+		s.Waits += sh.waits
+		s.Suppressed += sh.suppressed
 		s.Entries += len(sh.entries)
 		s.Bytes += sh.bytes
 		sh.mu.Unlock()

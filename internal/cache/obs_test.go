@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mloc/internal/obs"
+)
+
+// TestSuppressedDuplicateCount proves the singleflight suppressed
+// counter: a waiter that reuses the leader's result is one suppressed
+// duplicate decode.
+func TestSuppressedDuplicateCount(t *testing.T) {
+	c := mustNew(t, 1<<20)
+	k := Key{Store: "s", Bin: 0, Unit: 0, Level: 7}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _, err := c.GetOrCompute(context.Background(), k, func() ([]float64, error) {
+			close(started)
+			<-release
+			return []float64{1}, nil
+		})
+		if err != nil {
+			t.Errorf("leader: %v", err)
+		}
+	}()
+	<-started
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, hit, err := c.GetOrCompute(context.Background(), k, func() ([]float64, error) {
+			t.Error("waiter ran compute; singleflight failed")
+			return nil, nil
+		})
+		if err != nil || !hit {
+			t.Errorf("waiter: hit=%v err=%v", hit, err)
+		}
+	}()
+	// Wait until the waiter has registered on the flight, then release
+	// the leader.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Waits == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never reached the in-flight wait")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Misses != 1 || st.Waits != 1 || st.Suppressed != 1 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want misses=1 waits=1 suppressed=1 hits=1", st)
+	}
+}
+
+// TestStatsConsistentUnderLoad checks a Stats snapshot taken during
+// heavy concurrent traffic obeys the cross-counter invariants (each
+// shard is read in one lock pass, so suppressed can never exceed waits
+// and hits can never undercount suppressed).
+func TestStatsConsistentUnderLoad(t *testing.T) {
+	c := mustNew(t, 1<<16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := Key{Store: "s", Bin: i % 32, Unit: w % 2, Level: 7}
+				_, _, err := c.GetOrCompute(context.Background(), k, func() ([]float64, error) {
+					return make([]float64, 16), nil
+				})
+				if err != nil {
+					t.Errorf("GetOrCompute: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		st := c.Stats()
+		if st.Suppressed > st.Waits {
+			t.Errorf("suppressed %d > waits %d", st.Suppressed, st.Waits)
+		}
+		if st.Hits < st.Suppressed {
+			t.Errorf("hits %d < suppressed %d", st.Hits, st.Suppressed)
+		}
+		if st.Bytes < 0 || st.Bytes > st.Capacity {
+			t.Errorf("bytes %d outside [0, %d]", st.Bytes, st.Capacity)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestCacheInstrument registers the cache on a registry and checks the
+// exposition carries its metrics, passes lint, and that the lookup
+// histogram observes probes.
+func TestCacheInstrument(t *testing.T) {
+	c := mustNew(t, 1<<20)
+	reg := obs.NewRegistry()
+	c.Instrument(reg)
+	k := Key{Store: "s", Bin: 1, Unit: 0, Level: 7}
+	if _, _, err := c.GetOrCompute(context.Background(), k, func() ([]float64, error) {
+		return []float64{1, 2, 3}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(k); !ok {
+		t.Fatal("expected hit")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"mloc_cache_hits_total 1",
+		"mloc_cache_misses_total 1",
+		"mloc_cache_suppressed_total 0",
+		"mloc_cache_entries 1",
+		"mloc_cache_capacity_bytes 1048576",
+		"mloc_cache_lookup_seconds_count 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "mloc_cache_bytes ") {
+		t.Errorf("exposition missing mloc_cache_bytes:\n%s", out)
+	}
+	if probs := obs.Lint(out, true); len(probs) != 0 {
+		t.Errorf("lint problems: %v", probs)
+	}
+}

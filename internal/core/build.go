@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"mloc/internal/compress"
 	"mloc/internal/datagen"
 	"mloc/internal/grid"
+	"mloc/internal/obs"
 	"mloc/internal/pfs"
 	"mloc/internal/plod"
 	"mloc/internal/sfc"
@@ -31,7 +33,16 @@ import (
 // charged as total/workers wall-equivalent, keeping the virtual-clock
 // pipeline timings meaningful (DESIGN.md cost-model notes).
 func Build(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []float64, cfg Config) (*Store, error) {
-	return BuildWithSample(fs, clk, prefix, shape, data, nil, cfg)
+	return BuildWithSampleContext(context.Background(), fs, clk, prefix, shape, data, nil, cfg)
+}
+
+// BuildContext is Build under a context. The context is used for span
+// tracing only (obs.StartSpan): when it carries an active span, the
+// build records per-pass, per-worker, and per-bin child spans whose
+// virtual times explain the AdvanceParallel charging. Builds are not
+// cancellable mid-pass.
+func BuildContext(ctx context.Context, fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []float64, cfg Config) (*Store, error) {
+	return BuildWithSampleContext(ctx, fs, clk, prefix, shape, data, nil, cfg)
 }
 
 // BuildWithSample is Build with an explicit binning sample: the
@@ -40,6 +51,12 @@ func Build(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []
 // strategy (the binning ablation feeds a uniform ramp to obtain
 // equal-width bins); passing nil samples from data.
 func BuildWithSample(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data, sample []float64, cfg Config) (*Store, error) {
+	return BuildWithSampleContext(context.Background(), fs, clk, prefix, shape, data, sample, cfg)
+}
+
+// BuildWithSampleContext is BuildWithSample under a context, used for
+// span tracing only (see BuildContext).
+func BuildWithSampleContext(ctx context.Context, fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data, sample []float64, cfg Config) (*Store, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
@@ -83,8 +100,17 @@ func BuildWithSample(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shap
 
 	// Pass 1: chunk the data (level S boundary definition), bin each
 	// chunk's points (level V membership), fanned out over the worker
-	// pool and merged in storage order.
-	perBin := binChunks(clk, fs, chunks, order, data, scheme, nbins, cfg.buildWorkers())
+	// pool and merged in storage order. The pass span's virtual time is
+	// the clock delta actually charged (summed worker CPU divided by the
+	// pool width, plus the serial merge); its per-worker child spans
+	// carry each worker's raw measured CPU, so the span tree shows both
+	// sides of the AdvanceParallel accounting.
+	v0 := clk.Now()
+	_, binSpan := obs.StartSpan(ctx, "pass_binning")
+	perBin := binChunks(clk, fs, chunks, order, data, scheme, nbins, cfg.buildWorkers(), binSpan)
+	binSpan.AddVirt(clk.Now() - v0)
+	binSpan.SetInt("chunks", int64(len(order)))
+	binSpan.End()
 
 	// Pass 2: encode each bin's units (levels M + compression), lay out
 	// the bin files per the configured order, and commit them to the
@@ -112,10 +138,18 @@ func BuildWithSample(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shap
 	if nw < 1 {
 		nw = 1
 	}
+	// Pass 2 span: per-bin child spans carry each bin's raw encode CPU
+	// (charged to the clock as cpu/workers) and committed sizes; the
+	// pass virtual time is the full clock delta including the writes.
+	v1 := clk.Now()
+	_, encSpan := obs.StartSpan(ctx, "pass_encode")
+	encSpan.SetInt("bins", int64(nbins))
+	encSpan.SetInt("workers", int64(nw))
 	enc := encodeBins(fs, meta, perBin, cfg, nw)
 	for b := 0; b < nbins; b++ {
 		e := &enc[b]
 		if e.err != nil {
+			encSpan.End()
 			return nil, fmt.Errorf("core: bin %d: %w", b, e.err)
 		}
 		clk.AdvanceParallel(e.cpu, nw)
@@ -123,12 +157,19 @@ func BuildWithSample(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shap
 		bm.dataSize = int64(len(e.data))
 		bm.indexSize = int64(len(e.index))
 		if err := fs.WriteFile(clk, binDataPath(prefix, b), e.data); err != nil {
+			encSpan.End()
 			return nil, err
 		}
 		if err := fs.WriteFile(clk, binIndexPath(prefix, b), e.index); err != nil {
+			encSpan.End()
 			return nil, err
 		}
+		es := encSpan.Event("bin", 0, e.cpu)
+		es.SetInt("bin", int64(b))
+		es.SetInt("bytes", bm.dataSize+bm.indexSize)
 	}
+	encSpan.AddVirt(clk.Now() - v1)
+	encSpan.End()
 
 	metaBytes := meta.marshal()
 	if err := fs.WriteFile(clk, metaPath(prefix), metaBytes); err != nil {
@@ -215,7 +256,7 @@ type binnedChunk struct {
 // storage order, so unit order inside every bin is exactly the serial
 // build's. Worker compute is charged to clk as total/workers; the
 // cheap serial merge is charged as is.
-func binChunks(clk *pfs.Clock, fs *pfs.Sim, chunks *grid.Chunking, order []int64, data []float64, scheme *binning.Scheme, nbins, workers int) [][]rawUnit {
+func binChunks(clk *pfs.Clock, fs *pfs.Sim, chunks *grid.Chunking, order []int64, data []float64, scheme *binning.Scheme, nbins, workers int, sp *obs.Span) [][]rawUnit {
 	nw := workers
 	if nw > len(order) {
 		nw = len(order)
@@ -263,9 +304,12 @@ func binChunks(clk *pfs.Clock, fs *pfs.Sim, chunks *grid.Chunking, order []int64
 		}
 	})
 	var total float64
-	for _, c := range cpus {
+	for w, c := range cpus {
 		total += c
+		ws := sp.Event("worker", 0, c)
+		ws.SetInt("worker", int64(w))
 	}
+	sp.SetInt("workers", int64(nw))
 	clk.AdvanceParallel(total, nw)
 
 	t0 := time.Now()

@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"mloc/internal/cache"
 	"mloc/internal/grid"
 	"mloc/internal/mpi"
+	"mloc/internal/obs"
 	"mloc/internal/pfs"
 	"mloc/internal/plod"
 	"mloc/internal/query"
@@ -26,13 +28,17 @@ type task struct {
 	filterVC bool
 }
 
-// rankOut accumulates one rank's results.
+// rankOut accumulates one rank's results. reassemble and filter split
+// the Reconstruct component for span attribution (index/offset decoding
+// vs. the match-filter loop); their sum always equals time.Reconstruct.
 type rankOut struct {
-	matches   []query.Match
-	time      query.Components
-	bytes     int64
-	blocks    int
-	cacheHits int
+	matches    []query.Match
+	time       query.Components
+	bytes      int64
+	blocks     int
+	cacheHits  int
+	reassemble float64
+	filter     float64
 }
 
 // Query executes a request over the given number of parallel ranks,
@@ -68,13 +74,27 @@ func (s *Store) QueryContext(ctx context.Context, req *query.Request, ranks int)
 			s.meta.mode, level)
 	}
 
+	_, ps := obs.StartSpan(ctx, "plan")
 	tasks, binsAccessed := s.planTasks(req)
 	perRank := s.assignTasks(tasks, ranks)
+	ps.SetInt("tasks", int64(len(tasks)))
+	ps.SetInt("bins", int64(binsAccessed))
+	ps.SetInt("ranks", int64(ranks))
+	ps.End()
 
 	outs := make([]rankOut, ranks)
 	clks := s.fs.NewClocks(ranks)
 	err := mpi.Run(ranks, func(c *mpi.Comm) error {
-		return s.runRank(ctx, clks[c.Rank()], perRank[c.Rank()], req, level, &outs[c.Rank()])
+		rctx, rs := obs.StartSpan(ctx, "rank")
+		rs.SetInt("rank", int64(c.Rank()))
+		rerr := s.runRank(rctx, clks[c.Rank()], perRank[c.Rank()], req, level, &outs[c.Rank()])
+		o := &outs[c.Rank()]
+		rs.SetFloat("virt_total_s", o.time.Total())
+		rs.SetInt("matches", int64(len(o.matches)))
+		rs.SetInt("bytes", o.bytes)
+		rs.SetInt("cache_hits", int64(o.cacheHits))
+		rs.End()
+		return rerr
 	})
 	if err != nil {
 		return nil, err
@@ -222,6 +242,15 @@ func (s *Store) processBin(ctx context.Context, clk *pfs.Clock, tasks []task, re
 	if err := ctx.Err(); err != nil {
 		return fmt.Errorf("core: query canceled at bin %d: %w", bin, err)
 	}
+	ctx, bs := obs.StartSpan(ctx, "bin")
+	defer bs.End()
+	bs.SetInt("bin", int64(bin))
+	bs.SetInt("units", int64(len(tasks)))
+	// Component snapshots: the deltas across this bin become the
+	// fetch/decode/reassemble/filter child spans. Decode and filter
+	// interleave per unit, so they are recorded as completed Events
+	// carrying virtual-clock seconds (wall time is not split).
+	before := *out
 	bm := &s.meta.bins[bin]
 	idxPath := binIndexPath(s.prefix, bin)
 	dataPath := binDataPath(s.prefix, bin)
@@ -252,6 +281,7 @@ func (s *Store) processBin(ctx context.Context, clk *pfs.Clock, tasks []task, re
 		}
 	}
 	t0 := clk.Now()
+	wall0 := time.Now()
 	if err := s.fs.Open(clk, idxPath); err != nil {
 		return err
 	}
@@ -293,6 +323,8 @@ func (s *Store) processBin(ctx context.Context, clk *pfs.Clock, tasks []task, re
 		out.bytes += ioBytes
 	}
 	out.time.IO += clk.Now() - t0
+	bs.Event("fetch", time.Since(wall0), out.time.IO-before.time.IO).
+		SetInt("bytes", out.bytes-before.bytes)
 
 	// Decode and emit.
 	for i, t := range tasks {
@@ -305,6 +337,12 @@ func (s *Store) processBin(ctx context.Context, clk *pfs.Clock, tasks []task, re
 			return err
 		}
 	}
+	bs.Event("decode", 0, out.time.Decompress-before.time.Decompress).
+		SetInt("blocks", int64(out.blocks-before.blocks))
+	bs.Event("reassemble", 0, out.reassemble-before.reassemble)
+	bs.Event("filter", 0, out.filter-before.filter).
+		SetInt("matches", int64(len(out.matches)-len(before.matches)))
+	bs.SetInt("cache_hits", int64(out.cacheHits-before.cacheHits))
 	return nil
 }
 
@@ -360,7 +398,7 @@ func (s *Store) emitUnit(ctx context.Context, clk *pfs.Clock, t task, u *unitMet
 		return fmt.Errorf("core: bin %d unit %d index: %w", t.bin, t.unit, err)
 	}
 	var offsets []int32
-	reconstruct := clk.MeasureCPU(func() {
+	reassemble := clk.MeasureCPU(func() {
 		offsets, err = decodeOffsets(idxRaw, int(u.count))
 	})
 	if err != nil {
@@ -394,7 +432,7 @@ func (s *Store) emitUnit(ctx context.Context, clk *pfs.Clock, t task, u *unitMet
 		base += int64(reg.Lo[d]) * strides[d]
 		widths[d] = int64(reg.Hi[d] - reg.Lo[d])
 	}
-	reconstruct += clk.MeasureCPU(func() {
+	filter := clk.MeasureCPU(func() {
 		for i, off := range offsets {
 			// Decompose the intra-chunk offset and accumulate the
 			// global linear index in one pass.
@@ -426,7 +464,9 @@ func (s *Store) emitUnit(ctx context.Context, clk *pfs.Clock, t task, u *unitMet
 		}
 	})
 
-	out.time.Reconstruct += reconstruct
+	out.reassemble += reassemble
+	out.filter += filter
+	out.time.Reconstruct += reassemble + filter
 	return nil
 }
 

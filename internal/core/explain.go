@@ -36,6 +36,60 @@ type Plan struct {
 	// Points is the total point count inside the touched units — the
 	// upper bound on matches before VC/SC filtering.
 	Points int64
+	// Measured, when non-nil, carries the observed cost breakdown of an
+	// actual execution of this plan (set via Observe), so predicted and
+	// measured cost sit side by side.
+	Measured *MeasuredCost
+}
+
+// MeasuredCost is the observed execution breakdown attached to a Plan
+// by Observe: the slowest rank's virtual-clock component split plus the
+// aggregate I/O and cache behavior.
+type MeasuredCost struct {
+	// IOSeconds, DecompressSeconds, and ReconstructSeconds are the
+	// slowest rank's virtual-clock components (the reported latency).
+	IOSeconds, DecompressSeconds, ReconstructSeconds float64
+	// BytesRead is the total PFS traffic across ranks.
+	BytesRead int64
+	// BlocksRead is the number of units actually decoded.
+	BlocksRead int
+	// CacheHits counts units served from the decode cache.
+	CacheHits int
+	// Matches is the result cardinality.
+	Matches int
+}
+
+// TotalSeconds returns the summed component seconds.
+func (m *MeasuredCost) TotalSeconds() float64 {
+	return m.IOSeconds + m.DecompressSeconds + m.ReconstructSeconds
+}
+
+// String renders the measured section exactly as it appears inside
+// Plan.String, so callers can print it on its own after Observe.
+func (m *MeasuredCost) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  measured: %.6fs virtual (io %.6fs, decompress %.6fs, reconstruct %.6fs)\n",
+		m.TotalSeconds(), m.IOSeconds, m.DecompressSeconds, m.ReconstructSeconds)
+	fmt.Fprintf(&sb, "  measured I/O: %d bytes, %d blocks decoded, %d cache hits, %d matches\n",
+		m.BytesRead, m.BlocksRead, m.CacheHits, m.Matches)
+	return sb.String()
+}
+
+// Observe attaches a result's measured cost breakdown to the plan, so
+// String/Render print predicted-vs-actual in one place.
+func (p *Plan) Observe(res *query.Result) {
+	if res == nil {
+		return
+	}
+	p.Measured = &MeasuredCost{
+		IOSeconds:          res.Time.IO,
+		DecompressSeconds:  res.Time.Decompress,
+		ReconstructSeconds: res.Time.Reconstruct,
+		BytesRead:          res.BytesRead,
+		BlocksRead:         res.BlocksRead,
+		CacheHits:          res.CacheHits,
+		Matches:            len(res.Matches),
+	}
 }
 
 // Explain plans a request against the store without executing it.
@@ -96,6 +150,9 @@ func (p *Plan) String() string {
 		p.Units, p.UnitsWithData, p.PlanesRead)
 	fmt.Fprintf(&sb, "  est. I/O: %d index bytes + %d data bytes over %d candidate points\n",
 		p.IndexBytes, p.DataBytes, p.Points)
+	if p.Measured != nil {
+		sb.WriteString(p.Measured.String())
+	}
 	return sb.String()
 }
 

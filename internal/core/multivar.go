@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"mloc/internal/bitmap"
 	"mloc/internal/mpi"
+	"mloc/internal/obs"
 	"mloc/internal/pfs"
 	"mloc/internal/plod"
 	"mloc/internal/query"
@@ -74,8 +76,11 @@ func MultiVarQueryContext(ctx context.Context, stores map[string]*Store, selectV
 	// derived by region queries from all processes are synchronized").
 	phase1 := req.Select
 	phase1.IndexOnly = true
-	selRes, err := sel.QueryContext(ctx, &phase1, ranks)
+	sctx, ss := obs.StartSpan(ctx, "select")
+	ss.SetString("var", selectVar)
+	selRes, err := sel.QueryContext(sctx, &phase1, ranks)
 	if err != nil {
+		ss.End()
 		return nil, fmt.Errorf("core: selection on %q: %w", selectVar, err)
 	}
 	n := sel.Shape().Elems()
@@ -83,6 +88,9 @@ func MultiVarQueryContext(ctx context.Context, stores map[string]*Store, selectV
 	for _, m := range selRes.Matches {
 		positions.Set(m.Index)
 	}
+	ss.SetInt("positions", int64(len(selRes.Matches)))
+	ss.SetFloat("virt_total_s", selRes.Time.Total())
+	ss.End()
 
 	out := &MultiVarResult{
 		Positions: positions,
@@ -97,8 +105,11 @@ func MultiVarQueryContext(ctx context.Context, stores map[string]*Store, selectV
 	// the first step can be directly used on other variables").
 	var fetchSlowest query.Components
 	for _, fv := range req.FetchVars {
-		fRes, err := stores[fv].FetchAtContext(ctx, positions, ranks)
+		fctx, vs := obs.StartSpan(ctx, "fetch_var")
+		vs.SetString("var", fv)
+		fRes, err := stores[fv].FetchAtContext(fctx, positions, ranks)
 		if err != nil {
+			vs.End()
 			return nil, fmt.Errorf("core: fetch of %q: %w", fv, err)
 		}
 		out.Values[fv] = fRes.Matches
@@ -106,6 +117,9 @@ func MultiVarQueryContext(ctx context.Context, stores map[string]*Store, selectV
 		if fRes.Time.Total() > fetchSlowest.Total() {
 			fetchSlowest = fRes.Time
 		}
+		vs.SetInt("matches", int64(len(fRes.Matches)))
+		vs.SetFloat("virt_total_s", fRes.Time.Total())
+		vs.End()
 	}
 	out.Time.Add(fetchSlowest)
 	return out, nil
@@ -156,7 +170,16 @@ func (s *Store) FetchAtContext(ctx context.Context, positions *bitmap.Bitmap, ra
 	outs := make([]rankOut, ranks)
 	clks := s.fs.NewClocks(ranks)
 	err := mpi.Run(ranks, func(c *mpi.Comm) error {
-		return s.fetchRank(ctx, clks[c.Rank()], perRank[c.Rank()], positions, &outs[c.Rank()])
+		rctx, rs := obs.StartSpan(ctx, "rank")
+		rs.SetInt("rank", int64(c.Rank()))
+		rerr := s.fetchRank(rctx, clks[c.Rank()], perRank[c.Rank()], positions, &outs[c.Rank()])
+		o := &outs[c.Rank()]
+		rs.SetFloat("virt_total_s", o.time.Total())
+		rs.SetInt("matches", int64(len(o.matches)))
+		rs.SetInt("bytes", o.bytes)
+		rs.SetInt("cache_hits", int64(o.cacheHits))
+		rs.End()
+		return rerr
 	})
 	if err != nil {
 		return nil, err
@@ -177,10 +200,8 @@ func (s *Store) FetchAtContext(ctx context.Context, positions *bitmap.Bitmap, ra
 	return res, nil
 }
 
-// fetchRank processes a rank's fetch tasks: per bin, read the unit
-// indices first, and only read data for units that actually contain
-// selected positions (and, with a decode cache attached, are not
-// already resident).
+// fetchRank processes a rank's fetch tasks bin by bin; per-bin scratch
+// (the coordinate buffers) is shared across bins.
 func (s *Store) fetchRank(ctx context.Context, clk *pfs.Clock, tasks []task, positions *bitmap.Bitmap, out *rankOut) error {
 	dims := s.meta.shape.Dims()
 	local := make([]int, dims)
@@ -192,80 +213,98 @@ func (s *Store) fetchRank(ctx context.Context, clk *pfs.Clock, tasks []task, pos
 		}
 		binTasks := tasks[lo:hi]
 		lo = hi
-
-		bin := binTasks[0].bin
-		if s.hookBeforeBin != nil {
-			s.hookBeforeBin(bin)
-		}
-		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("core: fetch canceled at bin %d: %w", bin, err)
-		}
-		bm := &s.meta.bins[bin]
-		idxPath := binIndexPath(s.prefix, bin)
-		dataPath := binDataPath(s.prefix, bin)
-
-		t0 := clk.Now()
-		if err := s.fs.Open(clk, idxPath); err != nil {
+		if err := s.fetchBin(ctx, clk, binTasks, positions, local, global, out); err != nil {
 			return err
 		}
-		idxExtents := make([]extent, 0, len(binTasks))
+	}
+	return nil
+}
+
+// fetchBin handles one rank's fetch tasks within a single bin: read the
+// unit indices first, and only read data for units that actually
+// contain selected positions (and, with a decode cache attached, are
+// not already resident).
+func (s *Store) fetchBin(ctx context.Context, clk *pfs.Clock, binTasks []task, positions *bitmap.Bitmap, local, global []int, out *rankOut) error {
+	bin := binTasks[0].bin
+	if s.hookBeforeBin != nil {
+		s.hookBeforeBin(bin)
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: fetch canceled at bin %d: %w", bin, err)
+	}
+	_, bs := obs.StartSpan(ctx, "bin")
+	defer bs.End()
+	bs.SetInt("bin", int64(bin))
+	bs.SetInt("units", int64(len(binTasks)))
+	before := *out
+	dims := s.meta.shape.Dims()
+	bm := &s.meta.bins[bin]
+	idxPath := binIndexPath(s.prefix, bin)
+	dataPath := binDataPath(s.prefix, bin)
+
+	t0 := clk.Now()
+	wall0 := time.Now()
+	if err := s.fs.Open(clk, idxPath); err != nil {
+		return err
+	}
+	idxExtents := make([]extent, 0, len(binTasks))
+	for _, t := range binTasks {
+		u := &bm.units[t.unit]
+		idxExtents = append(idxExtents, extent{u.indexOff, u.indexLen})
+	}
+	idxMap, ioBytes, err := readCoalesced(s.fs, clk, idxPath, idxExtents)
+	if err != nil {
+		return err
+	}
+	out.bytes += ioBytes
+	out.time.IO += clk.Now() - t0
+
+	// Decode indices; keep only units with selected positions. This is
+	// reassembly work: offset decoding plus position lookups.
+	type hitUnit struct {
+		t    task
+		hits []int // indices into the unit's point list
+		offs []int32
+	}
+	var hits []hitUnit
+	var decodeErr error
+	reassemble := clk.MeasureCPU(func() {
 		for _, t := range binTasks {
 			u := &bm.units[t.unit]
-			idxExtents = append(idxExtents, extent{u.indexOff, u.indexLen})
-		}
-		idxMap, ioBytes, err := readCoalesced(s.fs, clk, idxPath, idxExtents)
-		if err != nil {
-			return err
-		}
-		out.bytes += ioBytes
-		out.time.IO += clk.Now() - t0
-
-		// Decode indices; keep only units with selected positions.
-		type hitUnit struct {
-			t    task
-			hits []int // indices into the unit's point list
-			offs []int32
-		}
-		var hits []hitUnit
-		var decodeErr error
-		out.time.Reconstruct += clk.MeasureCPU(func() {
-			for _, t := range binTasks {
-				u := &bm.units[t.unit]
-				raw, err := idxMap.slice(u.indexOff, u.indexLen)
-				if err != nil {
-					decodeErr = err
-					return
+			raw, err := idxMap.slice(u.indexOff, u.indexLen)
+			if err != nil {
+				decodeErr = err
+				return
+			}
+			offs, err := decodeOffsets(raw, int(u.count))
+			if err != nil {
+				decodeErr = err
+				return
+			}
+			reg := s.chunks.ChunkRegionByID(u.chunkID)
+			var hu hitUnit
+			for i, off := range offs {
+				localCoords(reg, int64(off), local)
+				for d := 0; d < dims; d++ {
+					global[d] = reg.Lo[d] + local[d]
 				}
-				offs, err := decodeOffsets(raw, int(u.count))
-				if err != nil {
-					decodeErr = err
-					return
-				}
-				reg := s.chunks.ChunkRegionByID(u.chunkID)
-				var hu hitUnit
-				for i, off := range offs {
-					localCoords(reg, int64(off), local)
-					for d := 0; d < dims; d++ {
-						global[d] = reg.Lo[d] + local[d]
-					}
-					if positions.Get(s.meta.shape.Linear(global)) {
-						hu.hits = append(hu.hits, i)
-					}
-				}
-				if hu.hits != nil {
-					hu.t = t
-					hu.offs = offs
-					hits = append(hits, hu)
+				if positions.Get(s.meta.shape.Linear(global)) {
+					hu.hits = append(hu.hits, i)
 				}
 			}
-		})
-		if decodeErr != nil {
-			return decodeErr
+			if hu.hits != nil {
+				hu.t = t
+				hu.offs = offs
+				hits = append(hits, hu)
+			}
 		}
-		if len(hits) == 0 {
-			continue
-		}
-
+	})
+	out.reassemble += reassemble
+	out.time.Reconstruct += reassemble
+	if decodeErr != nil {
+		return decodeErr
+	}
+	if len(hits) != 0 {
 		// Probe the decode cache: resident units need no data read.
 		cached := make([][]float64, len(hits))
 		missing := 0
@@ -323,7 +362,7 @@ func (s *Store) fetchRank(ctx context.Context, clk *pfs.Clock, tasks []task, pos
 				return err
 			}
 			reg := s.chunks.ChunkRegionByID(u.chunkID)
-			out.time.Reconstruct += clk.MeasureCPU(func() {
+			filter := clk.MeasureCPU(func() {
 				for _, i := range h.hits {
 					localCoords(reg, int64(h.offs[i]), local)
 					for d := 0; d < dims; d++ {
@@ -335,7 +374,17 @@ func (s *Store) fetchRank(ctx context.Context, clk *pfs.Clock, tasks []task, pos
 					})
 				}
 			})
+			out.filter += filter
+			out.time.Reconstruct += filter
 		}
 	}
+	bs.Event("fetch", time.Since(wall0), out.time.IO-before.time.IO).
+		SetInt("bytes", out.bytes-before.bytes)
+	bs.Event("decode", 0, out.time.Decompress-before.time.Decompress).
+		SetInt("blocks", int64(out.blocks-before.blocks))
+	bs.Event("reassemble", 0, out.reassemble-before.reassemble)
+	bs.Event("filter", 0, out.filter-before.filter).
+		SetInt("matches", int64(len(out.matches)-len(before.matches)))
+	bs.SetInt("cache_hits", int64(out.cacheHits-before.cacheHits))
 	return nil
 }

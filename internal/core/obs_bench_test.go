@@ -1,0 +1,49 @@
+package core
+
+// BenchmarkObsOverhead measures what tracing costs the query hot path:
+// "off" runs with an untraced context (every span call hits the nil
+// no-op path, which TestNoopSpanZeroAlloc pins at zero allocations),
+// "on" runs each query under a retained trace. bench_json.sh distills
+// the pair into BENCH_build.json so the overhead is tracked over time.
+
+import (
+	"context"
+	"testing"
+
+	"mloc/internal/binning"
+	"mloc/internal/obs"
+	"mloc/internal/pfs"
+	"mloc/internal/query"
+)
+
+func BenchmarkObsOverhead(b *testing.B) {
+	data, shape := benchData(b)
+	cfg := DefaultConfig([]int{32, 32})
+	cfg.NumBins = 32
+	fs := pfs.New(pfs.DefaultConfig())
+	st, err := Build(fs, fs.NewClock(), "obs/phi", shape, data, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := &query.Request{VC: &binning.ValueConstraint{Min: -1e30, Max: 1e30}}
+
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.QueryContext(context.Background(), req, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		tracer := obs.NewTracer(4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx, root := tracer.StartTrace(context.Background(), "bench")
+			if _, err := st.QueryContext(ctx, req, 4); err != nil {
+				b.Fatal(err)
+			}
+			root.End()
+		}
+	})
+}

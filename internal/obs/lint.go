@@ -1,0 +1,398 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition lint: a promtool-style validator for Prometheus text
+// format 0.0.4, used three ways — unit tests over Registry output,
+// `make check` via cmd/mloclint against a live mlocd, and
+// serve_smoke.sh. It is deliberately strict about the subset this repo
+// emits: every sample must belong to a family with HELP and TYPE lines,
+// names must match the repo rule ^mloc_[a-z_]+$, label syntax must
+// parse, histogram buckets must be cumulative and end in +Inf with
+// _count equal to the +Inf bucket, and no (name, labels) sample may
+// repeat.
+
+// LintProblem is one defect found in an exposition payload.
+type LintProblem struct {
+	// Line is the 1-based line number of the offending line.
+	Line int
+	// Msg describes the defect.
+	Msg string
+}
+
+// String renders the problem as line:msg.
+func (p LintProblem) String() string { return fmt.Sprintf("line %d: %s", p.Line, p.Msg) }
+
+// lintFamily tracks per-family state while scanning.
+type lintFamily struct {
+	help, typ  string
+	sawSample  bool
+	histSeries map[string]*histState // histogram families: by base label sig
+}
+
+// histState validates one histogram series' bucket sequence.
+type histState struct {
+	lastLE    float64
+	lastCum   int64
+	sawInf    bool
+	infCum    int64
+	sawCount  bool
+	countLine int
+}
+
+// Lint validates a Prometheus text exposition payload and returns all
+// problems found (empty means valid). enforceRepoNames additionally
+// requires metric names to match ^mloc_[a-z_]+$ (plus the histogram
+// _bucket/_sum/_count suffixes).
+func Lint(payload string, enforceRepoNames bool) []LintProblem {
+	var probs []LintProblem
+	add := func(line int, format string, args ...any) {
+		probs = append(probs, LintProblem{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+	fams := make(map[string]*lintFamily)
+	seen := make(map[string]int) // full sample key -> first line
+	order := []string{}
+
+	lines := strings.Split(payload, "\n")
+	for i, raw := range lines {
+		ln := i + 1
+		line := strings.TrimRight(raw, " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			kind := line[2:6]
+			rest := line[7:]
+			sp := strings.IndexByte(rest, ' ')
+			if sp <= 0 {
+				add(ln, "malformed %s line", kind)
+				continue
+			}
+			name, text := rest[:sp], rest[sp+1:]
+			fam := fams[name]
+			if fam == nil {
+				fam = &lintFamily{histSeries: make(map[string]*histState)}
+				fams[name] = fam
+				order = append(order, name)
+			}
+			if kind == "HELP" {
+				if fam.help != "" {
+					add(ln, "duplicate HELP for %s", name)
+				}
+				fam.help = text
+			} else {
+				if fam.typ != "" {
+					add(ln, "duplicate TYPE for %s", name)
+				}
+				if fam.sawSample {
+					add(ln, "TYPE for %s after its samples", name)
+				}
+				switch text {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					add(ln, "unknown TYPE %q for %s", text, name)
+				}
+				fam.typ = text
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+
+		name, labels, valueStr, err := splitSample(line)
+		if err != nil {
+			add(ln, "%v", err)
+			continue
+		}
+		value, err := parseValue(valueStr)
+		if err != nil {
+			add(ln, "bad sample value %q", valueStr)
+			continue
+		}
+		base, suffix := histBase(name)
+		fam := fams[base]
+		if fam == nil || suffix == "" {
+			// Not attached to a histogram family under the base name;
+			// require an exact family.
+			fam = fams[name]
+			base, suffix = name, ""
+		}
+		if fam == nil {
+			add(ln, "sample %s has no HELP/TYPE family", name)
+			continue
+		}
+		if fam.typ == "histogram" != (suffix != "") {
+			if suffix == "" {
+				add(ln, "histogram family %s has non-histogram sample %s", base, name)
+			} else {
+				add(ln, "sample %s uses histogram suffix but family %s is %s", name, base, fam.typ)
+			}
+		}
+		fam.sawSample = true
+		if enforceRepoNames && !validMetricName(base) {
+			add(ln, "metric name %q does not match ^mloc_[a-z_]+$", base)
+		}
+
+		sortedSig, le, err := canonicalSig(labels, suffix == "_bucket")
+		if err != nil {
+			add(ln, "%s: %v", name, err)
+			continue
+		}
+		key := name + sortedSig + "|le=" + le
+		if first, dup := seen[key]; dup {
+			add(ln, "duplicate sample %s%s (first at line %d)", name, sortedSig, first)
+		} else {
+			seen[key] = ln
+		}
+
+		if fam.typ != "histogram" || suffix == "" {
+			continue
+		}
+		hs := fam.histSeries[sortedSig]
+		if hs == nil {
+			hs = &histState{lastLE: negInf()}
+			fam.histSeries[sortedSig] = hs
+		}
+		switch suffix {
+		case "_bucket":
+			if le == "" {
+				add(ln, "%s bucket missing le label", base)
+				continue
+			}
+			bound, err := parseValue(le)
+			if err != nil {
+				add(ln, "%s bucket has bad le %q", base, le)
+				continue
+			}
+			if bound <= hs.lastLE {
+				add(ln, "%s buckets not in ascending le order", base)
+			}
+			cum := int64(value)
+			if float64(cum) != value || cum < 0 { //mlocvet:ignore floatcmp
+				add(ln, "%s bucket count %s is not a non-negative integer", base, valueStr)
+			}
+			if cum < hs.lastCum {
+				add(ln, "%s bucket counts not cumulative (%d after %d)", base, cum, hs.lastCum)
+			}
+			hs.lastLE, hs.lastCum = bound, cum
+			if le == "+Inf" {
+				hs.sawInf, hs.infCum = true, cum
+			}
+		case "_count":
+			hs.sawCount, hs.countLine = true, ln
+			if hs.sawInf && int64(value) != hs.infCum {
+				add(ln, "%s_count %d != +Inf bucket %d", base, int64(value), hs.infCum)
+			}
+		}
+	}
+
+	for _, name := range order {
+		fam := fams[name]
+		if fam.help == "" {
+			add(len(lines), "family %s has no HELP line", name)
+		}
+		if fam.typ == "" {
+			add(len(lines), "family %s has no TYPE line", name)
+		}
+		sigs := make([]string, 0, len(fam.histSeries))
+		for sig := range fam.histSeries {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			hs := fam.histSeries[sig]
+			if !hs.sawInf {
+				add(len(lines), "histogram %s%s has no +Inf bucket", name, sig)
+			}
+			if !hs.sawCount {
+				add(len(lines), "histogram %s%s has no _count sample", name, sig)
+			}
+		}
+	}
+	sort.Slice(probs, func(i, j int) bool { return probs[i].Line < probs[j].Line })
+	return probs
+}
+
+// negInf avoids a math import for one constant.
+func negInf() float64 {
+	inf, _ := strconv.ParseFloat("-Inf", 64) //mlocvet:ignore uncheckederr
+	return inf
+}
+
+// histBase splits a histogram-suffixed sample name into its family base
+// and suffix ("" when the name carries no histogram suffix).
+func histBase(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) && len(name) > len(s) {
+			return name[:len(name)-len(s)], s
+		}
+	}
+	return name, ""
+}
+
+// splitSample parses `name{labels} value` into its parts, validating
+// name and label syntax.
+func splitSample(line string) (name string, labels []Label, value string, err error) {
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if c == '{' || c == ' ' {
+			break
+		}
+		if !isNameChar(c, i == 0) {
+			return "", nil, "", fmt.Errorf("bad metric name character %q", c) //mlocvet:ignore errprefix
+		}
+		i++
+	}
+	if i == 0 {
+		return "", nil, "", fmt.Errorf("empty metric name") //mlocvet:ignore errprefix
+	}
+	name = line[:i]
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, ls, perr := parseLabels(rest)
+		if perr != nil {
+			return "", nil, "", perr
+		}
+		labels = ls
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	if rest == "" {
+		return "", nil, "", fmt.Errorf("sample %s has no value", name) //mlocvet:ignore errprefix
+	}
+	// A timestamp after the value is legal in the format; this repo
+	// never emits one, but tolerate it.
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		rest = rest[:sp]
+	}
+	return name, labels, rest, nil
+}
+
+// isNameChar reports whether c may appear in a metric name at the given
+// position per the exposition grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func isNameChar(c byte, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// parseLabels parses a `{k="v",...}` block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func parseLabels(s string) (end int, labels []Label, err error) {
+	i := 1
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label block") //mlocvet:ignore errprefix
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		if s[i] == ',' {
+			i++
+			continue
+		}
+		j := i
+		for j < len(s) && s[j] != '=' && s[j] != '}' {
+			j++
+		}
+		if j >= len(s) || s[j] != '=' {
+			return 0, nil, fmt.Errorf("label without '='") //mlocvet:ignore errprefix
+		}
+		key := s[i:j]
+		if key == "" {
+			return 0, nil, fmt.Errorf("empty label name") //mlocvet:ignore errprefix
+		}
+		for k := 0; k < len(key); k++ {
+			if !isNameChar(key[k], k == 0) || key[k] == ':' {
+				return 0, nil, fmt.Errorf("bad label name %q", key) //mlocvet:ignore errprefix
+			}
+		}
+		j++ // past '='
+		if j >= len(s) || s[j] != '"' {
+			return 0, nil, fmt.Errorf("label %s value not quoted", key) //mlocvet:ignore errprefix
+		}
+		j++
+		var val strings.Builder
+		for {
+			if j >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value for %s", key) //mlocvet:ignore errprefix
+			}
+			c := s[j]
+			if c == '"' {
+				j++
+				break
+			}
+			if c == '\\' {
+				if j+1 >= len(s) {
+					return 0, nil, fmt.Errorf("dangling escape in label %s", key) //mlocvet:ignore errprefix
+				}
+				switch s[j+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("bad escape \\%c in label %s", s[j+1], key) //mlocvet:ignore errprefix
+				}
+				j += 2
+				continue
+			}
+			val.WriteByte(c)
+			j++
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		i = j
+	}
+}
+
+// canonicalSig sorts labels into a stable signature, extracting the le
+// label for bucket samples (allowLE). A le label outside a _bucket
+// sample is an error.
+func canonicalSig(labels []Label, allowLE bool) (sig, le string, err error) {
+	rest := make([]Label, 0, len(labels))
+	for _, l := range labels {
+		if l.Key == "le" {
+			if !allowLE {
+				return "", "", fmt.Errorf("unexpected le label") //mlocvet:ignore errprefix
+			}
+			if le != "" {
+				return "", "", fmt.Errorf("duplicate le label") //mlocvet:ignore errprefix
+			}
+			le = l.Value
+			continue
+		}
+		rest = append(rest, l)
+	}
+	for i := 1; i < len(rest); i++ {
+		for j := 0; j < i; j++ {
+			if rest[i].Key == rest[j].Key {
+				return "", "", fmt.Errorf("duplicate label %s", rest[i].Key) //mlocvet:ignore errprefix
+			}
+		}
+	}
+	return labelSig(rest), le, nil
+}
+
+// parseValue parses a sample value, accepting the exposition spellings
+// of infinity and NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	case "NaN":
+		return strconv.ParseFloat("NaN", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,42 @@
+package pfs
+
+import (
+	"strconv"
+
+	"mloc/internal/obs"
+)
+
+// Instrument registers the simulator's counters on reg, sampled from
+// Stats at scrape time so the I/O hot path is untouched: bytes moved,
+// seeks, opens, and read requests as counters, plus a per-OST
+// cumulative busy-seconds gauge (the imbalance diagnostic behind the
+// paper's file-organization experiments). Call once per Sim per
+// registry.
+func (s *Sim) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("mloc_pfs_bytes_read_total",
+		"Bytes read from the simulated PFS.",
+		func() float64 { return float64(s.Stats().BytesRead) })
+	reg.CounterFunc("mloc_pfs_bytes_written_total",
+		"Bytes written to the simulated PFS.",
+		func() float64 { return float64(s.Stats().BytesWritten) })
+	reg.CounterFunc("mloc_pfs_seeks_total",
+		"Seeks charged by the striped cost model.",
+		func() float64 { return float64(s.Stats().Seeks) })
+	reg.CounterFunc("mloc_pfs_opens_total",
+		"File opens (metadata round trips).",
+		func() float64 { return float64(s.Stats().Opens) })
+	reg.CounterFunc("mloc_pfs_reads_total",
+		"Read requests issued.",
+		func() float64 { return float64(s.Stats().Reads) })
+	for ost := 0; ost < s.cfg.NumOSTs; ost++ {
+		reg.GaugeFunc("mloc_pfs_ost_busy_seconds",
+			"Cumulative virtual busy seconds per OST (imbalance diagnostic).",
+			func() float64 {
+				st := s.Stats()
+				if ost >= len(st.OSTBusy) {
+					return 0
+				}
+				return st.OSTBusy[ost]
+			}, obs.L("ost", strconv.Itoa(ost)))
+	}
+}

@@ -1,0 +1,47 @@
+package pfs
+
+import (
+	"strings"
+	"testing"
+
+	"mloc/internal/obs"
+)
+
+// TestSimInstrument checks the registry bridge tracks Stats and emits
+// lint-clean exposition with one busy gauge per OST.
+func TestSimInstrument(t *testing.T) {
+	sim := New(DefaultConfig())
+	reg := obs.NewRegistry()
+	sim.Instrument(reg)
+	clk := sim.NewClock()
+	if err := sim.WriteFile(clk, "f", make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.ReadAt(clk, "f", 0, 4096); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"mloc_pfs_bytes_read_total 4096",
+		"mloc_pfs_bytes_written_total 4096",
+		"mloc_pfs_reads_total 1",
+		"mloc_pfs_opens_total 1",
+		`mloc_pfs_ost_busy_seconds{ost="0"}`,
+		`mloc_pfs_ost_busy_seconds{ost="7"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if probs := obs.Lint(out, true); len(probs) != 0 {
+		t.Errorf("lint problems: %v", probs)
+	}
+	st := sim.Stats()
+	if st.Seeks < 1 {
+		t.Errorf("expected at least one seek, stats = %+v", st)
+	}
+}

@@ -16,6 +16,12 @@
 //   - Shared decode cache: when a cache.Cache is configured, decoded
 //     storage units are reused across requests and variables, and
 //     concurrent decodes of one unit are deduplicated.
+//
+// The service is fully observable: every request runs under an obs
+// trace (span trees retained in a ring buffer, served at
+// /debug/traces), and admission, outcome, cache, and per-endpoint
+// metrics live in one obs.Registry served at /metrics in Prometheus
+// text exposition.
 package server
 
 import (
@@ -23,6 +29,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"strconv"
@@ -31,6 +38,7 @@ import (
 
 	"mloc/internal/cache"
 	"mloc/internal/core"
+	"mloc/internal/obs"
 	"mloc/internal/query"
 )
 
@@ -39,7 +47,7 @@ type Config struct {
 	// Stores maps variable names to their built stores. Required.
 	Stores map[string]*core.Store
 	// Cache, when non-nil, is attached to every store as the shared
-	// decoded-unit cache.
+	// decoded-unit cache and instrumented on the registry.
 	Cache *cache.Cache
 	// MaxConcurrent bounds simultaneously executing queries (default 8).
 	MaxConcurrent int
@@ -57,6 +65,19 @@ type Config struct {
 	MaxMatches int
 	// MaxBodyBytes caps the request body (default 1 MiB).
 	MaxBodyBytes int64
+	// Registry receives the server's (and cache's) metrics and backs
+	// GET /metrics. New creates a private one when nil. It must not
+	// already hold mloc_server_* or mloc_cache_* families.
+	Registry *obs.Registry
+	// Tracer retains per-query span trees for GET /debug/traces. New
+	// creates one with the default ring capacity when nil.
+	Tracer *obs.Tracer
+	// SlowQueryThreshold, when positive, logs any query whose wall-time
+	// service duration reaches it (with its trace id, so the span tree
+	// can be pulled from /debug/traces).
+	SlowQueryThreshold time.Duration
+	// Logf receives slow-query log lines (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 func (c *Config) normalize() error {
@@ -81,26 +102,47 @@ func (c *Config) normalize() error {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return nil
+}
+
+// endpointMetrics is the per-route request counter, error counter, and
+// service-time histogram.
+type endpointMetrics struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	service  *obs.Histogram
 }
 
 // Server is the query service. Create with New, mount via Handler.
 type Server struct {
-	cfg Config
-	adm *admission
+	cfg    Config
+	adm    *admission
+	reg    *obs.Registry
+	tracer *obs.Tracer
 
 	draining atomic.Bool
 
-	queriesTotal    atomic.Int64
-	queriesOK       atomic.Int64
-	queriesRejected atomic.Int64
-	queriesCanceled atomic.Int64
-	queriesFailed   atomic.Int64
-	queueWaitMicros atomic.Int64
+	queries         *obs.Counter
+	queriesOK       *obs.Counter
+	queriesRejected *obs.Counter
+	queriesCanceled *obs.Counter
+	queriesFailed   *obs.Counter
+	shed            map[string]*obs.Counter
+	queueWait       *obs.Histogram
+	endpoints       map[string]*endpointMetrics
 }
 
 // New validates the configuration, attaches the shared cache to every
-// store, and returns the service.
+// store, registers the service's metrics, and returns the service.
 func New(cfg Config) (*Server, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
@@ -110,11 +152,80 @@ func New(cfg Config) (*Server, error) {
 			st.SetDecodeCache(cfg.Cache)
 		}
 	}
-	return &Server{
-		cfg: cfg,
-		adm: newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
-	}, nil
+	s := &Server{
+		cfg:    cfg,
+		adm:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
+		reg:    cfg.Registry,
+		tracer: cfg.Tracer,
+	}
+	s.instrument()
+	return s, nil
 }
+
+// shed reasons, the label values of mloc_server_shed_total.
+const (
+	shedDraining    = "draining"
+	shedQueueFull   = "queue_full"
+	shedWaitExpired = "wait_expired"
+	shedClientGone  = "client_gone"
+)
+
+// instrument registers every server metric family on the registry.
+func (s *Server) instrument() {
+	reg := s.reg
+	s.queries = reg.Counter("mloc_server_queries_total",
+		"Query requests received (any outcome).")
+	s.queriesOK = reg.Counter("mloc_server_query_outcomes_total",
+		"Query outcomes by class.", obs.L("outcome", "ok"))
+	s.queriesRejected = reg.Counter("mloc_server_query_outcomes_total",
+		"Query outcomes by class.", obs.L("outcome", "rejected"))
+	s.queriesCanceled = reg.Counter("mloc_server_query_outcomes_total",
+		"Query outcomes by class.", obs.L("outcome", "canceled"))
+	s.queriesFailed = reg.Counter("mloc_server_query_outcomes_total",
+		"Query outcomes by class.", obs.L("outcome", "failed"))
+	s.shed = make(map[string]*obs.Counter)
+	for _, reason := range []string{shedDraining, shedQueueFull, shedWaitExpired, shedClientGone} {
+		s.shed[reason] = reg.Counter("mloc_server_shed_total",
+			"Requests shed by admission control, by reason.", obs.L("reason", reason))
+	}
+	s.queueWait = reg.Histogram("mloc_server_queue_wait_seconds",
+		"Admission-queue wait before a slot was granted.", obs.DefSecondsBuckets())
+	reg.GaugeFunc("mloc_server_in_flight",
+		"Queries currently executing.", func() float64 { return float64(s.adm.inFlight()) })
+	reg.GaugeFunc("mloc_server_queue_depth",
+		"Callers waiting for an execution slot.", func() float64 { return float64(s.adm.queued()) })
+	reg.GaugeFunc("mloc_server_draining",
+		"1 while the server rejects new queries for shutdown.", func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("mloc_server_stores",
+		"Variables served.", func() float64 { return float64(len(s.cfg.Stores)) })
+	s.endpoints = make(map[string]*endpointMetrics)
+	for _, ep := range []string{"query", "stats", "vars", "healthz", "metrics", "traces"} {
+		s.endpoints[ep] = &endpointMetrics{
+			requests: reg.Counter("mloc_server_requests_total",
+				"HTTP requests by endpoint.", obs.L("endpoint", ep)),
+			errors: reg.Counter("mloc_server_request_errors_total",
+				"HTTP responses with status >= 400, by endpoint.", obs.L("endpoint", ep)),
+			service: reg.Histogram("mloc_server_request_seconds",
+				"Wall-clock request service time by endpoint.",
+				obs.DefSecondsBuckets(), obs.L("endpoint", ep)),
+		}
+	}
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.Instrument(reg)
+	}
+}
+
+// Registry returns the metrics registry backing /metrics, so the
+// embedding process (mlocd) can register more families on it.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer returns the tracer backing /debug/traces.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // SetDraining flips the draining flag: while set, new queries get 503
 // with Retry-After and in-flight queries run to completion. Graceful
@@ -124,11 +235,41 @@ func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
 // Handler returns the service's HTTP routes.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/vars", s.handleVars)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/query", s.endpoint("query", s.handleQuery))
+	mux.HandleFunc("/stats", s.endpoint("stats", s.handleStats))
+	mux.HandleFunc("/vars", s.endpoint("vars", s.handleVars))
+	mux.HandleFunc("/healthz", s.endpoint("healthz", s.handleHealthz))
+	mux.HandleFunc("/metrics", s.endpoint("metrics", s.handleMetrics))
+	mux.HandleFunc("/debug/traces", s.endpoint("traces", s.handleTraces))
 	return mux
+}
+
+// statusWriter records the response status for the endpoint error
+// counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// endpoint wraps a handler with the per-endpoint request counter,
+// error counter, and service-time histogram.
+func (s *Server) endpoint(name string, h http.HandlerFunc) http.HandlerFunc {
+	em := s.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		em.requests.Inc()
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		em.service.Observe(time.Since(start).Seconds())
+		if sw.status >= 400 {
+			em.errors.Inc()
+		}
+	}
 }
 
 // matchWire is one match in a query response.
@@ -157,6 +298,9 @@ type resultWire struct {
 	CacheHits    int         `json:"cache_hits"`
 	Time         timeWire    `json:"time"`
 	QueuedMS     float64     `json:"queued_ms"`
+	// TraceID names the retained span tree for this query; fetch it at
+	// /debug/traces?id=<TraceID>.
+	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -165,9 +309,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
-	s.queriesTotal.Add(1)
+	s.queries.Inc()
 	if s.draining.Load() {
-		s.queriesRejected.Add(1)
+		s.queriesRejected.Inc()
+		s.shed[shedDraining].Inc()
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
@@ -175,19 +320,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	wire, err := ParseRequest(r.Body)
 	if err != nil {
-		s.queriesFailed.Add(1)
+		s.queriesFailed.Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	st, ok := s.cfg.Stores[wire.Var]
 	if !ok {
-		s.queriesFailed.Add(1)
+		s.queriesFailed.Inc()
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown variable %q", wire.Var))
 		return
 	}
 	req, err := wire.ToRequest(st.Shape())
 	if err != nil {
-		s.queriesFailed.Add(1)
+		s.queriesFailed.Inc()
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -196,46 +341,70 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ranks = s.cfg.DefaultRanks
 	}
 
-	queued, err := s.adm.acquire(r.Context())
+	start := time.Now()
+	ctx, root := s.tracer.StartTrace(r.Context(), "query")
+	defer root.End()
+	root.SetString("var", wire.Var)
+
+	queued, err := s.adm.acquire(ctx)
 	if err != nil {
 		s.admissionFailure(w, err)
 		return
 	}
 	defer s.adm.release()
-	s.queueWaitMicros.Add(queued.Microseconds())
+	s.queueWait.Observe(queued.Seconds())
+	root.SetFloat("queued_ms", float64(queued.Microseconds())/1000)
 
-	res, err := st.QueryContext(r.Context(), req, ranks)
+	res, err := st.QueryContext(ctx, req, ranks)
 	if err != nil {
 		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			// The client is gone; nothing useful can be written. The
 			// point of this path is that the engine already stopped at a
 			// bin boundary and the deferred release frees the slot now
 			// rather than after the full scan.
-			s.queriesCanceled.Add(1)
+			s.queriesCanceled.Inc()
 			writeError(w, http.StatusServiceUnavailable, "query canceled")
 			return
 		}
-		s.queriesFailed.Add(1)
+		s.queriesFailed.Inc()
 		writeError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	s.queriesOK.Add(1)
-	writeJSON(w, http.StatusOK, buildResult(wire.Var, res, s.cfg.MaxMatches, queued))
+	s.queriesOK.Inc()
+	root.SetInt("matches", int64(len(res.Matches)))
+	root.SetFloat("virt_total_s", res.Time.Total())
+	out := buildResult(wire.Var, res, s.cfg.MaxMatches, queued)
+	out.TraceID = root.TraceID()
+	s.maybeLogSlow(wire.Var, time.Since(start), res, out.TraceID)
+	writeJSON(w, http.StatusOK, out)
+}
+
+// maybeLogSlow emits the slow-query log line when the wall-clock
+// service time reaches the configured threshold.
+func (s *Server) maybeLogSlow(name string, wall time.Duration, res *query.Result, traceID uint64) {
+	if s.cfg.SlowQueryThreshold <= 0 || wall < s.cfg.SlowQueryThreshold {
+		return
+	}
+	s.cfg.Logf("server: slow query var=%s wall=%s virt=%.6fs matches=%d bytes=%d trace_id=%d",
+		name, wall, res.Time.Total(), len(res.Matches), res.BytesRead, traceID)
 }
 
 // admissionFailure maps an acquire error to its HTTP response.
 func (s *Server) admissionFailure(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, errQueueFull):
-		s.queriesRejected.Add(1)
+		s.queriesRejected.Inc()
+		s.shed[shedQueueFull].Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "query queue full")
 	case errors.Is(err, errQueueTimeout):
-		s.queriesRejected.Add(1)
+		s.queriesRejected.Inc()
+		s.shed[shedWaitExpired].Inc()
 		w.Header().Set("Retry-After", "2")
 		writeError(w, http.StatusServiceUnavailable, "no query slot within wait budget")
 	default: // the caller's context ended while queued
-		s.queriesCanceled.Add(1)
+		s.queriesCanceled.Inc()
+		s.shed[shedClientGone].Inc()
 		writeError(w, http.StatusServiceUnavailable, "canceled while queued")
 	}
 }
@@ -271,7 +440,9 @@ func buildResult(name string, res *query.Result, maxMatches int, queued time.Dur
 }
 
 // handleStats serves a flat JSON object of numeric counters (expvar
-// style): admission, outcome, and cache statistics.
+// style). The values are read back from the metrics registry — /stats
+// is a legacy view over the same counters /metrics exposes, so the two
+// can never disagree.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
@@ -279,12 +450,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	stats := map[string]int64{
-		"queries_total":    s.queriesTotal.Load(),
-		"queries_ok":       s.queriesOK.Load(),
-		"queries_rejected": s.queriesRejected.Load(),
-		"queries_canceled": s.queriesCanceled.Load(),
-		"queries_failed":   s.queriesFailed.Load(),
-		"queue_wait_us":    s.queueWaitMicros.Load(),
+		"queries_total":    s.queries.Value(),
+		"queries_ok":       s.queriesOK.Value(),
+		"queries_rejected": s.queriesRejected.Value(),
+		"queries_canceled": s.queriesCanceled.Value(),
+		"queries_failed":   s.queriesFailed.Value(),
+		"queue_wait_us":    int64(s.queueWait.Sum() * 1e6),
 		"in_flight":        int64(s.adm.inFlight()),
 		"queued":           s.adm.queued(),
 		"draining":         0,
@@ -299,11 +470,52 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["cache_misses"] = cs.Misses
 		stats["cache_evictions"] = cs.Evictions
 		stats["cache_waits"] = cs.Waits
+		stats["cache_suppressed"] = cs.Suppressed
 		stats["cache_entries"] = int64(cs.Entries)
 		stats["cache_bytes"] = cs.Bytes
 		stats["cache_capacity"] = cs.Capacity
 	}
 	writeJSON(w, http.StatusOK, stats)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if err := s.reg.WritePrometheus(w); err != nil {
+		// The response is already committed (mid-write disconnect).
+		_ = err //mlocvet:ignore uncheckederr
+	}
+}
+
+// handleTraces serves retained query traces: the full ring (newest
+// first) by default, or one span tree with ?id=<trace_id>.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		n, err := strconv.ParseUint(id, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad trace id %q", id))
+			return
+		}
+		td, ok := s.tracer.DumpByID(n)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("trace %d not retained", n))
+			return
+		}
+		writeJSONIndent(w, http.StatusOK, td)
+		return
+	}
+	writeJSONIndent(w, http.StatusOK, s.tracer.Dump())
 }
 
 // varWire describes one served variable in GET /vars.
@@ -354,6 +566,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := enc.Encode(v); err != nil {
 		// The response is already committed; nothing to do but note it
 		// for the connection (usually a mid-write disconnect).
+		_ = err //mlocvet:ignore uncheckederr
+	}
+}
+
+// writeJSONIndent is writeJSON with indentation, for the human-read
+// trace dumps.
+func writeJSONIndent(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
 		_ = err //mlocvet:ignore uncheckederr
 	}
 }

@@ -3,8 +3,11 @@
 # BENCH_build.json, the recorded build-bench trajectory: per mode and
 # worker count, wall ns/op, allocs/op, B/op, the virtual-clock build
 # time (virt-s/op), and both speedups relative to the 1-worker run of
-# the same mode. CI uploads the file as an artifact; the committed copy
-# is the checkpoint the next optimization PR measures against.
+# the same mode. BenchmarkObsOverhead (query path traced vs untraced)
+# rides along as an "obs_overhead" section, so the cost of tracing is
+# part of the recorded trajectory. CI uploads the file as an artifact;
+# the committed copy is the checkpoint the next optimization PR
+# measures against.
 #
 #   ./scripts/bench_json.sh [output.json]   (default BENCH_build.json)
 #   BENCHTIME=10x ./scripts/bench_json.sh   longer runs for stabler numbers
@@ -15,7 +18,7 @@ benchtime=${BENCHTIME:-5x}
 
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
-go test ./internal/core -run '^$' -bench '^BenchmarkBuildParallel$' \
+go test ./internal/core -run '^$' -bench '^(BenchmarkBuildParallel|BenchmarkObsOverhead)$' \
 	-benchmem -benchtime "$benchtime" | tee "$raw"
 
 # Each result line looks like
@@ -42,6 +45,20 @@ awk -v benchtime="$benchtime" -v goversion="$(go env GOVERSION)" '
 	rmode[n] = mode; rworkers[n] = workers
 	rns[n] = ns; rallocs[n] = allocs; rbytes[n] = bytes; rvirt[n] = virt
 }
+/^BenchmarkObsOverhead\// {
+	split($1, parts, "/")
+	tracing = parts[2]
+	sub(/-[0-9]+$/, "", tracing)
+	ns = allocs = bytes = 0
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		else if ($(i + 1) == "allocs/op") allocs = $i
+		else if ($(i + 1) == "B/op") bytes = $i
+	}
+	on++
+	omode[on] = tracing; ons[on] = ns; oallocs[on] = allocs; obytes[on] = bytes
+	if (tracing == "off") offNs = ns
+}
 END {
 	if (n == 0) { print "bench_json: no benchmark results parsed" > "/dev/stderr"; exit 1 }
 	printf "{\n"
@@ -56,6 +73,13 @@ END {
 		vs = (baseVirt[m] > 0 && rvirt[i] > 0) ? baseVirt[m] / rvirt[i] : 0
 		printf "    {\"mode\": \"%s\", \"workers\": \"%s\", \"ns_op\": %d, \"allocs_op\": %d, \"bytes_op\": %d, \"virt_s_op\": %g, \"wall_speedup\": %.3f, \"virt_speedup\": %.3f}%s\n", \
 			m, rworkers[i], rns[i], rallocs[i], rbytes[i], rvirt[i], ws, vs, (i < n ? "," : "")
+	}
+	printf "  ],\n"
+	printf "  \"obs_overhead\": [\n"
+	for (i = 1; i <= on; i++) {
+		ratio = (offNs > 0 && ons[i] > 0) ? ons[i] / offNs : 0
+		printf "    {\"tracing\": \"%s\", \"ns_op\": %d, \"allocs_op\": %d, \"bytes_op\": %d, \"vs_off\": %.3f}%s\n", \
+			omode[i], ons[i], oallocs[i], obytes[i], ratio, (i < on ? "," : "")
 	}
 	printf "  ]\n}\n"
 }

@@ -3,7 +3,11 @@
 # build the binaries, boot mlocd on an ephemeral port over a tiny
 # synthetic store, run the same remote query twice through mlocctl,
 # check the answers agree, and assert the second run hit the shared
-# decode cache.
+# decode cache. The observability surface is exercised too: /metrics
+# and /debug/traces are scraped and validated with mloclint (the
+# promtool-style checker — malformed exposition or trace JSON fails
+# the smoke), pprof answers behind -pprof, the per-query trace renders
+# with rank spans, and the slow-query log fires.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,9 +26,11 @@ trap cleanup EXIT
 echo "serve-smoke: building binaries"
 go build -o "$workdir/mlocd" ./cmd/mlocd
 go build -o "$workdir/mlocctl" ./cmd/mlocctl
+go build -o "$workdir/mloclint" ./cmd/mloclint
 
 echo "serve-smoke: booting mlocd"
 "$workdir/mlocd" -addr 127.0.0.1:0 -store t=gts:64:1 -bins 16 -ranks 2 \
+    -pprof -slow-query-threshold 1ns \
     >"$workdir/mlocd.log" 2>&1 &
 mlocd_pid=$!
 
@@ -81,6 +87,33 @@ fi
 if [[ "${cache_hits:-0}" -le 0 ]]; then
     echo "serve-smoke: FAIL — second identical query produced no cache hits" >&2
     cat "$workdir/stats.out" >&2
+    exit 1
+fi
+
+echo "serve-smoke: validating /metrics and /debug/traces"
+if ! "$workdir/mloclint" -remote "$addr" -pprof; then
+    echo "serve-smoke: FAIL — observability surface is malformed" >&2
+    exit 1
+fi
+
+# The query response names its trace; rendering it must show the
+# per-rank span tree.
+trace_id=$(sed -n 's/^  trace: \([0-9][0-9]*\).*/\1/p' "$workdir/q1.out" | head -n1)
+if [[ -z "$trace_id" ]]; then
+    echo "serve-smoke: FAIL — query output carries no trace id" >&2
+    cat "$workdir/q1.out" >&2
+    exit 1
+fi
+"$workdir/mlocctl" trace -remote "$addr" -id "$trace_id" >"$workdir/trace.out"
+if ! grep -q 'rank' "$workdir/trace.out"; then
+    echo "serve-smoke: FAIL — rendered trace $trace_id has no rank spans" >&2
+    cat "$workdir/trace.out" >&2
+    exit 1
+fi
+
+if ! grep -q 'slow query' "$workdir/mlocd.log"; then
+    echo "serve-smoke: FAIL — slow-query log never fired at a 1ns threshold" >&2
+    cat "$workdir/mlocd.log" >&2
     exit 1
 fi
 
