@@ -41,7 +41,7 @@ func (c *remoteClient) getJSON(path string, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close() //mlocvet:ignore uncheckederr
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- close error after the body was read is unactionable
 	if resp.StatusCode != http.StatusOK {
 		return remoteError(resp)
 	}
@@ -134,7 +134,7 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close() //mlocvet:ignore uncheckederr
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- close error after the body was read is unactionable
 	if resp.StatusCode != http.StatusOK {
 		return remoteError(resp)
 	}

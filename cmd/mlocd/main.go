@@ -167,7 +167,7 @@ func run(args []string) error {
 	errc := make(chan error, 1)
 	// The server loop must not block signal handling; this is daemon
 	// plumbing, not data parallelism.
-	go func() { errc <- httpSrv.Serve(ln) }() //mlocvet:ignore spmd-goroutine
+	go func() { errc <- httpSrv.Serve(ln) }() //mlocvet:ignore spmd-goroutine -- the serve loop is a daemon lifecycle, not SPMD compute; its exit is joined via errc
 
 	select {
 	case sig := <-sigc:

@@ -140,7 +140,7 @@ func TestBuildStoresAndServe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close() //mlocvet:ignore uncheckederr
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query status %d", resp.StatusCode)
 	}

@@ -169,7 +169,7 @@ func fetch(client *http.Client, url, wantType string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close() //mlocvet:ignore uncheckederr
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- close error after the body was read is unactionable
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return nil, err

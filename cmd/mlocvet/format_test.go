@@ -198,4 +198,5 @@ func BenchmarkMlocvetRepo(b *testing.B) {
 			b.Fatalf("full-repo pass took %v, budget %v", d, budget)
 		}
 	}
+	b.ReportMetric(float64(len(lint.All())), "analyzers/op")
 }

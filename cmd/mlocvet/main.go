@@ -4,9 +4,13 @@
 // checks do not know about — the syntactic generation (SPMD-only
 // goroutines, rank-local *mpi.Comm, "<pkg>: " error prefixes,
 // tolerance-based float comparison, checked errors, documented
-// exports) and the flow-aware generation (lock-order cycles, untrusted
+// exports), the flow-aware generation (lock-order cycles, untrusted
 // wire lengths reaching allocations, hot-loop allocations, shared
-// magic constants, mixed atomic/mutex field disciplines).
+// magic constants, mixed atomic/mutex field disciplines), and the
+// lifecycle generation built on per-function CFGs and a
+// must-happen-on-every-path dataflow solver (goroutines with a bounded
+// exit, forwarded contexts, pooled values released on every path,
+// virtual-clock charges for simulated I/O, reasoned suppressions).
 //
 // Usage:
 //
@@ -26,7 +30,8 @@
 // run. The exit code is 0 when nothing (new) fired, 1 otherwise, and 2
 // on usage or load errors. A finding is suppressed at the source line
 // by a trailing (or immediately preceding) "//mlocvet:ignore
-// <analyzer>" comment.
+// <analyzer> -- <reason>" comment; the ignorereason analyzer reports
+// directives whose reason tail is missing.
 package main
 
 import (
@@ -49,7 +54,7 @@ func main() {
 // must not mask the analysis exit code, so the write error is
 // deliberately dropped.
 func printf(w io.Writer, format string, args ...any) {
-	_, _ = fmt.Fprintf(w, format, args...) //mlocvet:ignore uncheckederr
+	_, _ = fmt.Fprintf(w, format, args...) //mlocvet:ignore uncheckederr -- diagnostics to stderr; a failed write has nowhere better to go
 }
 
 // run executes the driver and returns its exit code: 0 clean, 1
@@ -156,7 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		base, err := lint.ReadBaseline(f)
-		_ = f.Close() //mlocvet:ignore uncheckederr
+		_ = f.Close() //mlocvet:ignore uncheckederr -- baseline file opened read-only; close cannot lose data
 		if err != nil {
 			printf(stderr, "mlocvet: %v\n", err)
 			return 2

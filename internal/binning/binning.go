@@ -173,7 +173,7 @@ func (s *Scheme) BinOf(v float64) int {
 	// bound belongs to the bin on its right, so the boundary hit is an
 	// intentionally exact comparison.
 	i := sort.SearchFloat64s(s.bounds, v)
-	if i < len(s.bounds) && s.bounds[i] == v { //mlocvet:ignore floatcmp
+	if i < len(s.bounds) && s.bounds[i] == v { //mlocvet:ignore floatcmp -- bin bounds are exact stored values; equality decides membership
 		if i == n {
 			return n - 1
 		}

@@ -87,7 +87,7 @@ func basisFuncs(knots []float64, span int, t float64, out *[Degree + 1]float64) 
 			var temp float64
 			// Exact zero marks a repeated knot; Cox–de Boor defines the
 			// 0/0 term as 0, so the comparison is intentionally exact.
-			if denom != 0 { //mlocvet:ignore floatcmp
+			if denom != 0 { //mlocvet:ignore floatcmp -- exact zero guard before division, not a tolerance comparison
 				temp = out[r] / denom
 			}
 			out[r] = saved + right[r+1]*temp
@@ -191,7 +191,7 @@ func solveLinear(m [][]float64, b []float64) ([]float64, error) {
 		}
 		// An exactly-zero pivot column is structurally singular (no
 		// sample touches the basis function), not a rounding artifact.
-		if best == 0 { //mlocvet:ignore floatcmp
+		if best == 0 { //mlocvet:ignore floatcmp -- exact zero means no improvement was recorded; a tolerance would misread tiny gains
 			return nil, fmt.Errorf("bspline: singular normal matrix at column %d", col)
 		}
 		m[col], m[pivot] = m[pivot], m[col]
@@ -200,7 +200,7 @@ func solveLinear(m [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / m[col][col]
 		for r := col + 1; r < n; r++ {
 			f := m[r][col] * inv
-			if f == 0 { //mlocvet:ignore floatcmp
+			if f == 0 { //mlocvet:ignore floatcmp -- exact zero guard before division, not a tolerance comparison
 				continue // exact: skipping a zero factor is a pure fast path
 			}
 			for c := col; c < n; c++ {

@@ -58,7 +58,7 @@ func (z *Zlib) EncodeBytes(src []byte) ([]byte, error) {
 // stream to dst.
 func (z *Zlib) AppendBytes(dst, src []byte) ([]byte, error) {
 	sink := &appendWriter{b: dst}
-	w, _ := z.writers.Get().(*zlib.Writer)
+	w, _ := z.writers.Get().(*zlib.Writer) //mlocvet:ignore closepath -- a writer that failed Write/Close holds untrusted mid-stream deflate state; dropping it is the release
 	if w == nil {
 		var err error
 		w, err = zlib.NewWriterLevel(sink, z.level)
@@ -98,7 +98,7 @@ func (z *Zlib) DecodeBytesMax(data []byte, dst []byte, max int64) ([]byte, error
 // decode inflates data appending to dst; max < 0 means unlimited.
 func (z *Zlib) decode(data []byte, dst []byte, max int64) ([]byte, error) {
 	var r io.ReadCloser
-	if pooled, ok := z.readers.Get().(io.ReadCloser); ok && pooled != nil {
+	if pooled, ok := z.readers.Get().(io.ReadCloser); ok && pooled != nil { //mlocvet:ignore closepath -- a reader whose Reset failed has undefined inflate state; dropping it is the release
 		if err := pooled.(zlib.Resetter).Reset(bytes.NewReader(data), nil); err != nil {
 			// A failed Reset leaves the inflate state undefined; drop the
 			// reader rather than pooling it.
@@ -124,12 +124,12 @@ func (z *Zlib) decode(data []byte, dst []byte, max int64) ([]byte, error) {
 		// The decode error takes precedence over any close error. A
 		// reader that saw corrupt input is still pool-safe: the next use
 		// Resets it onto a fresh stream.
-		_ = r.Close() //mlocvet:ignore uncheckederr
+		_ = r.Close() //mlocvet:ignore uncheckederr -- the decode error already being returned takes precedence over any close error
 		z.readers.Put(r)
 		return nil, fmt.Errorf("compress: zlib decode: %w", err)
 	}
 	if max >= 0 && n > max {
-		_ = r.Close() //mlocvet:ignore uncheckederr
+		_ = r.Close() //mlocvet:ignore uncheckederr -- the limit-exceeded error being returned takes precedence over any close error
 		z.readers.Put(r)
 		return nil, fmt.Errorf("compress: zlib output exceeds %d-byte limit", max)
 	}

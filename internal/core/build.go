@@ -36,11 +36,12 @@ func Build(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []
 	return BuildWithSampleContext(context.Background(), fs, clk, prefix, shape, data, nil, cfg)
 }
 
-// BuildContext is Build under a context. The context is used for span
-// tracing only (obs.StartSpan): when it carries an active span, the
-// build records per-pass, per-worker, and per-bin child spans whose
-// virtual times explain the AdvanceParallel charging. Builds are not
-// cancellable mid-pass.
+// BuildContext is Build under a context. The context carries the span
+// for tracing (obs.StartSpan): when it holds an active span, the build
+// records per-pass, per-worker, and per-bin child spans whose virtual
+// times explain the AdvanceParallel charging. Cancellation is observed
+// between bin commits in pass 2; a pass already fanned out runs its
+// in-flight work to completion.
 func BuildContext(ctx context.Context, fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []float64, cfg Config) (*Store, error) {
 	return BuildWithSampleContext(ctx, fs, clk, prefix, shape, data, nil, cfg)
 }
@@ -147,6 +148,10 @@ func BuildWithSampleContext(ctx context.Context, fs *pfs.Sim, clk *pfs.Clock, pr
 	encSpan.SetInt("workers", int64(nw))
 	enc := encodeBins(fs, meta, perBin, cfg, nw)
 	for b := 0; b < nbins; b++ {
+		if err := ctx.Err(); err != nil {
+			encSpan.End()
+			return nil, fmt.Errorf("core: build canceled before committing bin %d: %w", b, err)
+		}
 		e := &enc[b]
 		if e.err != nil {
 			encSpan.End()
@@ -218,7 +223,7 @@ func runWorkers(n int, fn func(w int)) {
 		// The build worker pool is intra-rank compute fan-out, not an
 		// SPMD rank: it shares one virtual clock and charges aggregated
 		// CPU via AdvanceParallel, so the mpi/stage runtimes don't apply.
-		go work(w) //mlocvet:ignore spmd-goroutine
+		go work(w) //mlocvet:ignore spmd-goroutine -- intra-rank compute fan-out on one clock (see comment above), not an SPMD rank
 	}
 	wg.Wait()
 }

@@ -488,7 +488,7 @@ func (s *Store) decodeUnitValues(clk *pfs.Clock, u *unitMeta, level int, dataMap
 			return nil, d, err
 		}
 		if len(values) != count {
-			return nil, d, fmt.Errorf("decoded %d values, want %d", len(values), count) //mlocvet:ignore errprefix
+			return nil, d, fmt.Errorf("decoded %d values, want %d", len(values), count) //mlocvet:ignore errprefix -- wrapped with the core prefix by the exported caller
 		}
 		return values, d, nil
 	}
@@ -515,7 +515,7 @@ func (s *Store) decodeUnitValues(clk *pfs.Clock, u *unitMeta, level int, dataMap
 			planes[p] = raw
 		}
 		if len(planes[p]) != want {
-			return nil, decompress, fmt.Errorf("plane %d has %d bytes, want %d", p, len(planes[p]), want) //mlocvet:ignore errprefix
+			return nil, decompress, fmt.Errorf("plane %d has %d bytes, want %d", p, len(planes[p]), want) //mlocvet:ignore errprefix -- wrapped with the core prefix by the exported caller
 		}
 	}
 	var values []float64
@@ -535,7 +535,7 @@ func decodeOffsets(raw []byte, count int) ([]int32, error) {
 	n := len(raw)
 	for i := 0; i < count; i++ {
 		if pos >= n {
-			return nil, fmt.Errorf("truncated offset stream at entry %d", i) //mlocvet:ignore errprefix
+			return nil, fmt.Errorf("truncated offset stream at entry %d", i) //mlocvet:ignore errprefix -- wrapped with the core prefix by the exported caller
 		}
 		b := raw[pos]
 		if b < 0x80 {
@@ -550,7 +550,7 @@ func decodeOffsets(raw []byte, count int) ([]int32, error) {
 		var shift uint
 		for {
 			if pos >= n {
-				return nil, fmt.Errorf("truncated offset stream at entry %d", i) //mlocvet:ignore errprefix
+				return nil, fmt.Errorf("truncated offset stream at entry %d", i) //mlocvet:ignore errprefix -- wrapped with the core prefix by the exported caller
 			}
 			c := raw[pos]
 			pos++
@@ -560,14 +560,14 @@ func decodeOffsets(raw []byte, count int) ([]int32, error) {
 			}
 			shift += 7
 			if shift > 35 {
-				return nil, fmt.Errorf("malformed offset varint at entry %d", i) //mlocvet:ignore errprefix
+				return nil, fmt.Errorf("malformed offset varint at entry %d", i) //mlocvet:ignore errprefix -- wrapped with the core prefix by the exported caller
 			}
 		}
 		prev += int32(d)
 		out[i] = prev
 	}
 	if pos != n {
-		return nil, fmt.Errorf("offset stream has %d trailing bytes", n-pos) //mlocvet:ignore errprefix
+		return nil, fmt.Errorf("offset stream has %d trailing bytes", n-pos) //mlocvet:ignore errprefix -- wrapped with the core prefix by the exported caller
 	}
 	return out, nil
 }
@@ -606,12 +606,12 @@ func (m *extentMap) slice(off, length int64) ([]byte, error) {
 	}
 	i := sort.Search(len(m.base), func(i int) bool { return m.base[i] > off })
 	if i == 0 {
-		return nil, fmt.Errorf("extent [%d,%d) not loaded", off, off+length) //mlocvet:ignore errprefix
+		return nil, fmt.Errorf("extent [%d,%d) not loaded", off, off+length) //mlocvet:ignore errprefix -- wrapped with the core prefix by the exported caller
 	}
 	i--
 	rel := off - m.base[i]
 	if rel+length > int64(len(m.bufs[i])) {
-		return nil, fmt.Errorf("extent [%d,%d) exceeds loaded range", off, off+length) //mlocvet:ignore errprefix
+		return nil, fmt.Errorf("extent [%d,%d) exceeds loaded range", off, off+length) //mlocvet:ignore errprefix -- wrapped with the core prefix by the exported caller
 	}
 	return m.bufs[i][rel : rel+length], nil
 }

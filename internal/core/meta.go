@@ -305,7 +305,7 @@ func (r *byteReader) str() string {
 func (r *byteReader) uvarintMax(max uint64) uint64 {
 	v := r.uvarint()
 	if r.err == nil && v > max {
-		r.err = fmt.Errorf("varint %d exceeds limit %d at %d", v, max, r.pos) //mlocvet:ignore errprefix
+		r.err = fmt.Errorf("varint %d exceeds limit %d at %d", v, max, r.pos) //mlocvet:ignore errprefix -- reader errors are wrapped with the core prefix at the exported API
 		return 0
 	}
 	return v
@@ -313,7 +313,7 @@ func (r *byteReader) uvarintMax(max uint64) uint64 {
 
 func (r *byteReader) fail() {
 	if r.err == nil {
-		r.err = fmt.Errorf("unexpected end of buffer at %d", r.pos) //mlocvet:ignore errprefix
+		r.err = fmt.Errorf("unexpected end of buffer at %d", r.pos) //mlocvet:ignore errprefix -- reader errors are wrapped with the core prefix at the exported API
 	}
 }
 

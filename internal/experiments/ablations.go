@@ -195,7 +195,7 @@ func meanRelError(orig, approx []float64) float64 {
 	var sum float64
 	var n int
 	for i := range orig {
-		if orig[i] == 0 { //mlocvet:ignore floatcmp
+		if orig[i] == 0 { //mlocvet:ignore floatcmp -- exact zero guard before division, not a tolerance comparison
 			continue // exact: relative error is undefined at a zero reference
 		}
 		sum += math.Abs(approx[i]-orig[i]) / math.Abs(orig[i])

@@ -109,7 +109,7 @@ func degrade(values []float64, level int) []float64 {
 func fmtPct(f float64) string {
 	pct := f * 100
 	switch {
-	case pct == 0: //mlocvet:ignore floatcmp
+	case pct == 0: //mlocvet:ignore floatcmp -- exact zero selects the minimum, not a tolerance comparison
 		return "0%" // exact: only a true zero prints as "0%"
 	case pct < 0.001:
 		return fmt.Sprintf("%.1E%%", pct)

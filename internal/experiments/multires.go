@@ -103,7 +103,7 @@ func readWholeDomain(st *core.Store, fs *pfs.Sim, level, ranks int) (*query.Resu
 }
 
 func relErr(got, want float64) float64 {
-	if want == 0 { //mlocvet:ignore floatcmp
+	if want == 0 { //mlocvet:ignore floatcmp -- exact zero guard before division, not a tolerance comparison
 		return math.Abs(got) // exact: relative error is undefined at a zero reference
 	}
 	return math.Abs(got-want) / math.Abs(want)

@@ -37,9 +37,9 @@ type sharedConst struct {
 // The registry restates each value by necessity, so each entry
 // suppresses its own finding.
 var sharedConsts = []sharedConst{
-	{value: 0x7F, hexOnly: true, noMask: true, canonical: "internal/plod", constName: "plod.FillByteFirst"}, //mlocvet:ignore constshare
-	{value: 0xFF, hexOnly: true, noMask: true, canonical: "internal/plod", constName: "plod.FillByteRest"},  //mlocvet:ignore constshare
-	{value: 0x4d4c4f43, canonical: "internal/core", constName: "core's metaMagic"},                          //mlocvet:ignore constshare
+	{value: 0x7F, hexOnly: true, noMask: true, canonical: "internal/plod", constName: "plod.FillByteFirst"}, //mlocvet:ignore constshare -- the analyzer's own table must spell the literal
+	{value: 0xFF, hexOnly: true, noMask: true, canonical: "internal/plod", constName: "plod.FillByteRest"},  //mlocvet:ignore constshare -- the analyzer's own table must spell the literal
+	{value: 0x4d4c4f43, canonical: "internal/core", constName: "core's metaMagic"},                          //mlocvet:ignore constshare -- the analyzer's own table must spell the literal
 	{value: 7, context: "level", canonical: "internal/plod", constName: "plod.MaxLevel"},
 	{value: 7, context: "plod", canonical: "internal/plod", constName: "plod.MaxLevel"},
 }

@@ -130,6 +130,13 @@ func (lc *lockClasses) lockOpOf(info *types.Info, call *ast.CallExpr) *LockOp {
 	return &LockOp{Class: lc.classFor(obj), Call: call, Acquire: acquire, Read: read}
 }
 
+// BaseObject resolves an expression to its declaring object the way
+// the lock walk resolves mutexes; the lifecycle analyzers use it to
+// identify sync.Pool instances. See baseObject.
+func BaseObject(info *types.Info, e ast.Expr) types.Object {
+	return baseObject(info, e)
+}
+
 // baseObject resolves the mutex-valued expression to its declaring
 // object: the field for p.mu / s.shard.mu, the variable for a plain
 // mu. Returns nil for expressions with no stable identity (map index,

@@ -1,0 +1,268 @@
+package flow
+
+import "go/ast"
+
+// EventClassifier maps one AST node to the named events it generates.
+// The solver applies it to every sub-node of every block node (not
+// descending into nested function literals or go statements, whose
+// bodies run under their own control flow), so a classifier only ever
+// inspects a single node at a time.
+type EventClassifier func(ast.Node) []string
+
+// nodeEvents splits one block node's events into those that occur when
+// the node executes (imm) and those a defer registers to occur at
+// function exit (def).
+type nodeEvents struct {
+	imm map[string]bool
+	def map[string]bool
+}
+
+// MustFacts is the result of the generic "must happen on every path"
+// dataflow analysis over one function graph: an intersection-meet
+// solve in both directions, with deferred events credited at their
+// registration points (a registered defer runs on every exit from that
+// point on, panics included).
+type MustFacts struct {
+	g      *Graph
+	events map[*Block][]nodeEvents
+	// toExit[b] holds the events guaranteed on every path from the
+	// start of b to Exit (backward must analysis).
+	toExit map[*Block]map[string]bool
+	// defIn[b] holds the deferred events registered on every path from
+	// Entry to the start of b (forward must analysis over defers only).
+	defIn map[*Block]map[string]bool
+	// universe is every event the classifier produced anywhere.
+	universe map[string]bool
+}
+
+// SolveMust runs the must-happen dataflow analysis of classify's
+// events over g.
+func SolveMust(g *Graph, classify EventClassifier) *MustFacts {
+	m := &MustFacts{
+		g:        g,
+		events:   make(map[*Block][]nodeEvents, len(g.Blocks)),
+		universe: make(map[string]bool),
+	}
+	for _, blk := range g.Blocks {
+		evs := make([]nodeEvents, len(blk.Nodes))
+		for i, n := range blk.Nodes {
+			imm, def := eventsOf(n, classify)
+			evs[i] = nodeEvents{imm: imm, def: def}
+			for e := range imm {
+				m.universe[e] = true
+			}
+			for e := range def {
+				m.universe[e] = true
+			}
+		}
+		m.events[blk] = evs
+	}
+	m.toExit = m.solveToExit()
+	m.defIn = m.solveDefIn()
+	return m
+}
+
+// eventsOf collects a block node's events, separating deferred ones.
+// The walk prunes nested function literals and go statements (their
+// bodies execute under separate control flow) except under a defer,
+// where a deferred closure's whole body runs at function exit.
+func eventsOf(n ast.Node, classify EventClassifier) (imm, def map[string]bool) {
+	imm = make(map[string]bool)
+	def = make(map[string]bool)
+	var walk func(root ast.Node, deferred bool)
+	walk = func(root ast.Node, deferred bool) {
+		ast.Inspect(root, func(sub ast.Node) bool {
+			if sub == nil {
+				return false
+			}
+			set := imm
+			if deferred {
+				set = def
+			}
+			switch sub := sub.(type) {
+			case *ast.DeferStmt:
+				if sub != root {
+					walk(sub.Call, true)
+					return false
+				}
+			case *ast.GoStmt:
+				for _, e := range classify(sub) {
+					set[e] = true
+				}
+				return false
+			case *ast.FuncLit, *ast.BlockStmt:
+				// Nested bodies belong to other blocks (or other
+				// functions); a deferred subtree runs whole at exit.
+				if !deferred {
+					return false
+				}
+			}
+			for _, e := range classify(sub) {
+				set[e] = true
+			}
+			return true
+		})
+	}
+	if d, ok := n.(*ast.DeferStmt); ok {
+		walk(d.Call, true)
+	} else {
+		walk(n, false)
+	}
+	return imm, def
+}
+
+// gen returns the union of a block's immediate and deferred events.
+func (m *MustFacts) gen(blk *Block) map[string]bool {
+	out := make(map[string]bool)
+	for _, ev := range m.events[blk] {
+		for e := range ev.imm {
+			out[e] = true
+		}
+		for e := range ev.def {
+			out[e] = true
+		}
+	}
+	return out
+}
+
+// solveToExit runs the backward intersection-meet fixpoint: an event is
+// in toExit[b] when every path from the start of b to Exit produces it.
+// Blocks with no path to Exit (infinite loops) keep the universe —
+// requirements on paths that never exit hold vacuously.
+func (m *MustFacts) solveToExit() map[*Block]map[string]bool {
+	out := make(map[*Block]map[string]bool, len(m.g.Blocks))
+	for _, blk := range m.g.Blocks {
+		out[blk] = copySet(m.universe)
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range m.g.Blocks {
+			next := m.gen(blk)
+			if blk != m.g.Exit {
+				if len(blk.Succs) == 0 {
+					next = copySet(m.universe)
+				} else {
+					for e := range intersectSets(out, blk.Succs) {
+						next[e] = true
+					}
+				}
+			}
+			if len(next) != len(out[blk]) {
+				out[blk] = next
+				changed = true
+			}
+		}
+	}
+	return out
+}
+
+// solveDefIn runs the forward intersection-meet fixpoint over deferred
+// events only: an event is in defIn[b] when a defer producing it is
+// registered on every path from Entry to the start of b.
+func (m *MustFacts) solveDefIn() map[*Block]map[string]bool {
+	in := make(map[*Block]map[string]bool, len(m.g.Blocks))
+	outs := make(map[*Block]map[string]bool, len(m.g.Blocks))
+	for _, blk := range m.g.Blocks {
+		in[blk] = copySet(m.universe)
+		outs[blk] = copySet(m.universe)
+	}
+	in[m.g.Entry] = make(map[string]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, blk := range m.g.Blocks {
+			next := in[blk]
+			if blk != m.g.Entry && len(blk.Preds) > 0 {
+				next = intersectSets(outs, blk.Preds)
+			}
+			in[blk] = next
+			nextOut := copySet(next)
+			for _, ev := range m.events[blk] {
+				for e := range ev.def {
+					nextOut[e] = true
+				}
+			}
+			if len(nextOut) != len(outs[blk]) {
+				outs[blk] = nextOut
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// OnEveryPath reports whether event occurs — or a defer producing it
+// is registered — on every path from Entry to Exit.
+func (m *MustFacts) OnEveryPath(event string) bool {
+	return m.toExit[m.g.Entry][event]
+}
+
+// OnEveryPathFrom reports whether event is guaranteed on every path
+// from the trigger node to Exit: it occurs later on all paths, or a
+// defer producing it is registered before the trigger (and thus runs
+// at every subsequent exit). A trigger the graph does not contain
+// (e.g. inside a nested function literal) reports true — the caller
+// should analyze that body with its own graph.
+func (m *MustFacts) OnEveryPathFrom(trigger ast.Node, event string) bool {
+	blk, idx := m.locate(trigger)
+	if blk == nil {
+		return true
+	}
+	evs := m.events[blk]
+	for j := idx + 1; j < len(evs); j++ {
+		if evs[j].imm[event] || evs[j].def[event] {
+			return true
+		}
+	}
+	for j := 0; j <= idx; j++ {
+		if evs[j].def[event] {
+			return true
+		}
+	}
+	if m.defIn[blk][event] {
+		return true
+	}
+	if len(blk.Succs) == 0 {
+		// No path from here to Exit: vacuously satisfied.
+		return true
+	}
+	for _, s := range blk.Succs {
+		if !m.toExit[s][event] {
+			return false
+		}
+	}
+	return true
+}
+
+// locate finds the block node containing the trigger by position.
+func (m *MustFacts) locate(trigger ast.Node) (*Block, int) {
+	for _, blk := range m.g.Blocks {
+		for i, n := range blk.Nodes {
+			if n.Pos() <= trigger.Pos() && trigger.End() <= n.End() {
+				return blk, i
+			}
+		}
+	}
+	return nil, 0
+}
+
+func copySet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for e := range s {
+		out[e] = true
+	}
+	return out
+}
+
+// intersectSets intersects the sets of the given blocks.
+func intersectSets(sets map[*Block]map[string]bool, blocks []*Block) map[string]bool {
+	out := copySet(sets[blocks[0]])
+	for _, blk := range blocks[1:] {
+		s := sets[blk]
+		for e := range out {
+			if !s[e] {
+				delete(out, e)
+			}
+		}
+	}
+	return out
+}

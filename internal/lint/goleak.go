@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mloc/internal/lint/flow"
+)
+
+// GoLeak flags go statements that spawn goroutines with no bounded
+// exit: on every path from the goroutine body's entry to its exit
+// there must be a joining event — a sync.WaitGroup Done/Wait, a close,
+// a channel send or receive (a ctx.Done() select counts), a range over
+// a channel — or a call to a function that provides one. A goroutine
+// with none of these is fire-and-forget: nothing can wait for it, and
+// under load it accumulates (the leak class the staging pipeline and
+// build pool were designed around).
+//
+// Goroutines whose callee cannot be resolved statically (function
+// values, interface methods) are skipped rather than guessed at.
+var GoLeak = &Analyzer{
+	Name:       "goleak",
+	Doc:        "go statements need a bounded exit on every path (WaitGroup join, channel op, close, or ctx.Done)",
+	RunProgram: runGoLeak,
+}
+
+// goleakBound is the single event label the must-solver tracks: any
+// bounding construct produces it, so "some bound on every path" is one
+// solver query.
+const goleakBound = "bound"
+
+func runGoLeak(p *ProgramPass) {
+	// summaries memoizes whether a named function's body provides a
+	// bound on every path (the one-call-deep interprocedural view).
+	summaries := make(map[*types.Func]int) // 0 unknown, 1 bounded, 2 not
+	for _, pkg := range p.Pkgs {
+		for _, f := range pkg.Files {
+			info := pkg.Info
+			ast.Inspect(f, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, binfo := spawnedBody(p.Flow, info, gs)
+				if body == nil {
+					return true
+				}
+				if !bodyBounded(p.Flow, binfo, body, summaries, 0) {
+					p.Reportf(gs.Pos(), "goroutine has no bounded exit on every path (no WaitGroup join, channel operation, close, or ctx.Done receive)")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// spawnedBody resolves the function body a go statement runs: an
+// inline literal, or the declaration of a statically resolved callee.
+func spawnedBody(prog *flow.Program, info *types.Info, gs *ast.GoStmt) (*ast.BlockStmt, *types.Info) {
+	if fl, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return fl.Body, info
+	}
+	callee := flow.CalleeOf(info, gs.Call)
+	if callee == nil {
+		return nil, nil
+	}
+	fi := prog.Funcs[callee]
+	if fi == nil || fi.Decl.Body == nil {
+		return nil, nil
+	}
+	return fi.Decl.Body, fi.Pkg.Info
+}
+
+// bodyBounded reports whether a bound event occurs on every path
+// through body. depth limits the interprocedural summary recursion.
+func bodyBounded(prog *flow.Program, info *types.Info, body *ast.BlockStmt, summaries map[*types.Func]int, depth int) bool {
+	g := flow.BuildCFG(body)
+	facts := flow.SolveMust(g, func(n ast.Node) []string {
+		if isBoundingNode(prog, info, n, summaries, depth) {
+			return []string{goleakBound}
+		}
+		return nil
+	})
+	return facts.OnEveryPath(goleakBound)
+}
+
+// isBoundingNode recognizes the constructs that bound a goroutine's
+// lifetime.
+func isBoundingNode(prog *flow.Program, info *types.Info, n ast.Node, summaries map[*types.Func]int, depth int) bool {
+	switch n := n.(type) {
+	case *ast.SendStmt:
+		return true
+	case *ast.UnaryExpr:
+		// Any receive blocks on a peer: <-done, <-ctx.Done(), ...
+		return n.Op == token.ARROW
+	case *ast.RangeStmt:
+		// Ranging a channel terminates when the sender closes it.
+		_, isChan := info.TypeOf(n.X).Underlying().(*types.Chan)
+		return isChan
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+		if isWaitGroupJoin(info, n) {
+			return true
+		}
+		return calleeBounds(prog, info, n, summaries, depth)
+	}
+	return false
+}
+
+// isWaitGroupJoin matches wg.Done() and wg.Wait() on sync.WaitGroup.
+func isWaitGroupJoin(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Wait") {
+		return false
+	}
+	return isNamedType(info.TypeOf(sel.X), "sync", "WaitGroup")
+}
+
+// calleeBounds consults the one-call-deep summary: a call to a declared
+// function whose own body provides a bound on every path is itself a
+// bound (the worker that does `defer wg.Done()` pattern).
+func calleeBounds(prog *flow.Program, info *types.Info, call *ast.CallExpr, summaries map[*types.Func]int, depth int) bool {
+	if depth >= 2 {
+		return false
+	}
+	callee := flow.CalleeOf(info, call)
+	if callee == nil {
+		return false
+	}
+	if v, ok := summaries[callee]; ok {
+		return v == 1
+	}
+	fi := prog.Funcs[callee]
+	if fi == nil || fi.Decl.Body == nil {
+		return false
+	}
+	summaries[callee] = 2 // recursion guard: assume unbounded while computing
+	if bodyBounded(prog, fi.Pkg.Info, fi.Decl.Body, summaries, depth+1) {
+		summaries[callee] = 1
+		return true
+	}
+	return false
+}
+
+// isNamedType reports whether t (after stripping one pointer) is the
+// named type pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == pkgPath && named.Obj().Name() == name
+}

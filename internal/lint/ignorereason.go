@@ -1,0 +1,38 @@
+package lint
+
+import "strings"
+
+// IgnoreReason requires every //mlocvet:ignore directive to justify
+// itself: "//mlocvet:ignore <analyzer> -- <why>". A suppression
+// without a reason is indistinguishable from a silenced bug six months
+// later; the reason is the reviewable record of why the finding is
+// acceptable. Bare directives still suppress (so adopting this check
+// cannot un-suppress legacy code mid-flight) but are themselves
+// reported — and an ignorereason finding can only be suppressed by a
+// directive that carries a reason, so a bare directive cannot excuse
+// itself.
+var IgnoreReason = &Analyzer{
+	Name: "ignorereason",
+	Doc:  "every //mlocvet:ignore directive needs a '-- reason' tail explaining the suppression",
+	Run:  runIgnoreReason,
+}
+
+func runIgnoreReason(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				e := parseIgnoreDirective(strings.TrimPrefix(c.Text, ignoreDirective))
+				if len(e.names) == 0 {
+					p.Reportf(c.Pos(), "mlocvet:ignore directive names no analyzer; write //mlocvet:ignore <analyzer> -- <reason>")
+					continue
+				}
+				if !e.hasReason {
+					p.Reportf(c.Pos(), "mlocvet:ignore %s has no reason; append ' -- <why this finding is acceptable>'", strings.Join(e.names, ","))
+				}
+			}
+		}
+	}
+}

@@ -34,6 +34,19 @@
 //   - atomicmix: fields accessed both atomically and plainly, or with
 //     inconsistent mutex protection
 //
+// The lifecycle generation (built on internal/lint/flow's per-function
+// CFG and must-happen-on-every-path dataflow solver) adds:
+//
+//   - goleak: go statements need a bounded exit on every path
+//   - ctxflow: held contexts must be forwarded, not replaced, and
+//     I/O loops must poll cancellation
+//   - closepath: pooled and constructed values need a release on every
+//     path, error returns and panics included
+//   - clockcharge: simulated I/O recorded in Stats must charge the
+//     virtual Clock before returning
+//   - ignorereason: //mlocvet:ignore directives must carry a
+//     "-- reason" explaining the suppression
+//
 // The package deliberately depends only on the standard library
 // (go/ast, go/parser, go/token, go/types) so the module keeps its
 // zero-dependency go.mod.
@@ -169,6 +182,11 @@ func All() []*Analyzer {
 		HotAlloc,
 		ConstShare,
 		AtomicMix,
+		GoLeak,
+		CtxFlow,
+		ClosePath,
+		ClockCharge,
+		IgnoreReason,
 	}
 }
 
@@ -246,10 +264,49 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 }
 
 // ignoreDirective is the comment prefix that suppresses findings. A
-// directive names one or more analyzers ("//mlocvet:ignore floatcmp"
-// or "//mlocvet:ignore floatcmp,errprefix") and applies to its own
-// line — as a trailing comment — or to the line directly below it.
+// directive names one or more analyzers followed by a mandatory
+// reason: "//mlocvet:ignore floatcmp -- bit-exact golden comparison".
+// It applies to its own line — as a trailing comment — or to the line
+// directly below it. Bare directives (no "-- reason") still suppress
+// for compatibility, but the ignorereason analyzer reports them, and
+// an ignorereason finding can only be suppressed by a directive that
+// itself carries a reason.
 const ignoreDirective = "//mlocvet:ignore"
+
+// ignoreEntry is one parsed ignore directive: the analyzers it names
+// and whether it carries a "-- reason" tail.
+type ignoreEntry struct {
+	names     []string
+	hasReason bool
+}
+
+// parseIgnoreDirective parses the text after the directive prefix into
+// analyzer names and the reason flag. Names stop at the "--"
+// separator (everything after it is the free-form reason) or at a
+// nested "//" opening unrelated commentary.
+func parseIgnoreDirective(rest string) ignoreEntry {
+	namePart, reason, found := strings.Cut(rest, "--")
+	namePart, _, _ = strings.Cut(namePart, "//")
+	return ignoreEntry{
+		names:     strings.FieldsFunc(namePart, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }),
+		hasReason: found && strings.TrimSpace(reason) != "",
+	}
+}
+
+// matches reports whether the entry suppresses the given analyzer. An
+// ignorereason finding is only suppressed by an entry that itself has
+// a reason — a bare directive cannot excuse itself.
+func (e ignoreEntry) matches(analyzer string) bool {
+	if analyzer == IgnoreReason.Name && !e.hasReason {
+		return false
+	}
+	for _, n := range e.names {
+		if n == analyzer {
+			return true
+		}
+	}
+	return false
+}
 
 // filterIgnored removes diagnostics whose line carries (or follows) an
 // ignore directive naming the diagnostic's analyzer.
@@ -261,8 +318,8 @@ func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	for _, d := range diags {
 		byLine := ignored[d.Pos.Filename]
-		if containsName(byLine[d.Pos.Line], d.Analyzer) ||
-			containsName(byLine[d.Pos.Line-1], d.Analyzer) {
+		if anyEntryMatches(byLine[d.Pos.Line], d.Analyzer) ||
+			anyEntryMatches(byLine[d.Pos.Line-1], d.Analyzer) {
 			continue
 		}
 		out = append(out, d)
@@ -270,39 +327,36 @@ func filterIgnored(pkg *Package, diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// ignoredLines collects the analyzers suppressed per file and line.
-func ignoredLines(pkg *Package) map[string]map[int][]string {
-	out := make(map[string]map[int][]string)
+// ignoredLines collects the parsed ignore directives per file and line.
+func ignoredLines(pkg *Package) map[string]map[int][]ignoreEntry {
+	out := make(map[string]map[int][]ignoreEntry)
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, ignoreDirective) {
 					continue
 				}
-				rest := strings.TrimPrefix(c.Text, ignoreDirective)
-				names := strings.FieldsFunc(rest, func(r rune) bool {
-					return r == ',' || r == ' ' || r == '\t'
-				})
-				if len(names) == 0 {
+				e := parseIgnoreDirective(strings.TrimPrefix(c.Text, ignoreDirective))
+				if len(e.names) == 0 {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				byLine := out[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int][]string)
+					byLine = make(map[int][]ignoreEntry)
 					out[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = append(byLine[pos.Line], names...)
+				byLine[pos.Line] = append(byLine[pos.Line], e)
 			}
 		}
 	}
 	return out
 }
 
-// containsName reports whether names includes name.
-func containsName(names []string, name string) bool {
-	for _, n := range names {
-		if n == name {
+// anyEntryMatches reports whether any entry suppresses the analyzer.
+func anyEntryMatches(entries []ignoreEntry, analyzer string) bool {
+	for _, e := range entries {
+		if e.matches(analyzer) {
 			return true
 		}
 	}

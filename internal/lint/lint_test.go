@@ -104,6 +104,11 @@ func TestAnalyzersGolden(t *testing.T) {
 		{HotAlloc, "hotalloc"},
 		{ConstShare, "constshare"},
 		{AtomicMix, "atomicmix"},
+		{GoLeak, "goleak"},
+		{CtxFlow, "ctxflow"},
+		{ClosePath, "closepath"},
+		{ClockCharge, "clockcharge/internal/pfs"}, // scoped: analyzer only fires on internal/pfs, internal/core paths
+		{IgnoreReason, "ignorereason"},
 	}
 	for _, tc := range cases {
 		name := tc.analyzer.Name + "/" + strings.ReplaceAll(tc.fixture, "/", "_")
@@ -129,6 +134,11 @@ func TestGoldenTruePositives(t *testing.T) {
 		HotAlloc.Name:      "hotalloc",
 		ConstShare.Name:    "constshare",
 		AtomicMix.Name:     "atomicmix",
+		GoLeak.Name:        "goleak",
+		CtxFlow.Name:       "ctxflow",
+		ClosePath.Name:     "closepath",
+		ClockCharge.Name:   "clockcharge/internal/pfs",
+		IgnoreReason.Name:  "ignorereason",
 	}
 	if len(fixtures) != len(All()) {
 		t.Fatalf("fixture map covers %d analyzers, suite has %d", len(fixtures), len(All()))

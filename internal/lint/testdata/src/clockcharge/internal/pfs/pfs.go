@@ -1,0 +1,74 @@
+// Package pfs is the clockcharge fixture's miniature simulator: a
+// Stats struct recording simulated I/O and a Clock that must be
+// charged whenever the tracked fields move. Its import path ends in
+// internal/pfs, putting it in the analyzer's scope.
+package pfs
+
+// Stats mirrors the simulator's I/O counters.
+type Stats struct {
+	Reads        int64
+	Opens        int64
+	BytesRead    int64
+	BytesWritten int64
+	Seeks        int64
+}
+
+// Clock is the fixture's virtual clock.
+type Clock struct{ now float64 }
+
+// AdvanceBy moves the clock forward.
+func (c *Clock) AdvanceBy(d float64) { c.now += d }
+
+// Sim couples the counters to the clock.
+type Sim struct {
+	stats Stats
+	clk   *Clock
+}
+
+// readUncharged records I/O but never advances the clock: simulated
+// time silently diverges from the recorded work.
+func (s *Sim) readUncharged(n int64) {
+	s.stats.Reads++           // want `Stats\.Reads is mutated without charging the Clock`
+	s.stats.BytesRead += n    // want `Stats\.BytesRead is mutated without charging the Clock`
+	s.stats.BytesWritten += n // want `Stats\.BytesWritten is mutated without charging the Clock`
+}
+
+// readCharged advances after recording — no diagnostic.
+func (s *Sim) readCharged(n int64) {
+	s.stats.Reads++
+	s.stats.BytesRead += n
+	s.clk.AdvanceBy(float64(n))
+}
+
+// chargedOnSomePathsOnly returns early from the cache-hit branch
+// without charging.
+func (s *Sim) chargedOnSomePathsOnly(n int64, hit bool) {
+	s.stats.Reads++ // want `Stats\.Reads is mutated without charging the Clock`
+	if hit {
+		return
+	}
+	s.clk.AdvanceBy(float64(n))
+}
+
+// chargeViaHelper charges through a callee that always advances — no
+// diagnostic (one-call-deep summary).
+func (s *Sim) chargeViaHelper(n int64) {
+	s.stats.Opens++
+	s.bump(n)
+}
+
+func (s *Sim) bump(n int64) {
+	s.clk.AdvanceBy(float64(n))
+}
+
+// seekOnly mutates a field outside the trigger set: the charge helper
+// pattern increments Seeks while its callers advance — no diagnostic.
+func (s *Sim) seekOnly() {
+	s.stats.Seeks++
+}
+
+// metadataOpen is free by the fixture's cost model, suppressed with a
+// reason.
+func (s *Sim) metadataOpen() {
+	s.stats.Opens++ //mlocvet:ignore clockcharge -- metadata-only open is free in this cost model
+}

@@ -1,0 +1,97 @@
+// Package closepath is a mlocvet fixture: pooled and constructed
+// values must be released on every path out of the acquiring function
+// — error returns and panics included.
+package closepath
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+var pool sync.Pool
+
+func use([]byte) {}
+
+// droppedOnError loses the buffer on the early error return.
+func droppedOnError(fail bool) error {
+	buf := pool.Get().([]byte) // want `sync.Pool Get on pool is not released on every path`
+	if fail {
+		return errors.New("closepath: boom")
+	}
+	use(buf)
+	pool.Put(buf)
+	return nil
+}
+
+// deferredPut covers every exit, panics included — no diagnostic.
+func deferredPut(fail bool) error {
+	buf := pool.Get().([]byte)
+	defer pool.Put(buf)
+	if fail {
+		return errors.New("closepath: boom")
+	}
+	use(buf)
+	return nil
+}
+
+// timerLeak abandons the runtime timer on the early return.
+func timerLeak(d time.Duration, c bool) {
+	t := time.NewTimer(d) // want `time\.Timer t is not released on every path`
+	if c {
+		return
+	}
+	t.Stop()
+}
+
+// timerStopped defers Stop — no diagnostic.
+func timerStopped(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	<-t.C
+}
+
+type scratch struct{ buf []byte }
+
+var scratchPool sync.Pool
+
+// GetScratch acquires inside a return statement: ownership escapes to
+// the caller, so the Get itself is exempt — no diagnostic.
+func GetScratch() *scratch {
+	return scratchPool.Get().(*scratch)
+}
+
+// PutScratch returns a scratch to the pool.
+func PutScratch(s *scratch) {
+	scratchPool.Put(s)
+}
+
+// ctorDroppedOnPanic loses the scratch when the corrupt branch panics.
+func ctorDroppedOnPanic(corrupt bool) {
+	s := GetScratch() // want `GetScratch result is not released on every path`
+	if corrupt {
+		panic("closepath: corrupt")
+	}
+	PutScratch(s)
+}
+
+// ctorBalanced releases on both exits — no diagnostic.
+func ctorBalanced(c bool) {
+	s := GetScratch()
+	if c {
+		PutScratch(s)
+		return
+	}
+	use(s.buf)
+	PutScratch(s)
+}
+
+// poisonedDrop deliberately drops the value on failure, suppressed
+// with a reason.
+func poisonedDrop(fail bool) {
+	buf := pool.Get().([]byte) //mlocvet:ignore closepath -- a buffer that failed validation is poisoned; dropping it lets the pool refill fresh
+	if fail {
+		return
+	}
+	pool.Put(buf)
+}

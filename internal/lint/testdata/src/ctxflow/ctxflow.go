@@ -1,0 +1,85 @@
+// Package ctxflow is a mlocvet fixture: a function holding a
+// context.Context must forward it — not replace it with a fresh
+// Background/TODO, not bypass a Context-aware sibling, and not run
+// simulated-I/O loops without polling cancellation.
+package ctxflow
+
+import (
+	"context"
+
+	"mloc/internal/lint/testdata/src/ctxflow/internal/pfs"
+)
+
+// Query is the convenience wrapper: it holds no context, so filling in
+// Background here is legal — no diagnostic.
+func Query(n int) int {
+	return QueryContext(context.Background(), n)
+}
+
+// QueryContext is the context-aware variant.
+func QueryContext(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return n
+}
+
+// overridesHeldContext drops the caller's cancellation on the floor.
+func overridesHeldContext(ctx context.Context, n int) int {
+	return QueryContext(context.Background(), n) // want `holds a context but passes a fresh one`
+}
+
+// bypassesContextVariant calls the blocking wrapper although the
+// context-aware sibling exists.
+func bypassesContextVariant(ctx context.Context, n int) int {
+	return Query(n) // want `context-aware variant QueryContext`
+}
+
+// uncancellableLoop does simulated I/O per bin without ever checking
+// ctx.
+func uncancellableLoop(ctx context.Context, bins []int) int {
+	total := 0
+	for range bins { // want `loop performs simulated I/O without polling cancellation`
+		total += pfs.Read()
+	}
+	return total
+}
+
+// pollingLoop checks ctx.Err each iteration — no diagnostic.
+func pollingLoop(ctx context.Context, bins []int) int {
+	total := 0
+	for range bins {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += pfs.Read()
+	}
+	return total
+}
+
+// forwardingLoop hands the context to the callee, which observes
+// cancellation — no diagnostic.
+func forwardingLoop(ctx context.Context, bins []int) int {
+	total := 0
+	for _, n := range bins {
+		total += QueryContext(ctx, n) + pfs.Read()
+	}
+	return total
+}
+
+// capturedByClosure: a literal without its own ctx parameter inherits
+// the enclosing one and is held to the same contract.
+func capturedByClosure(ctx context.Context, bins []int) func() int {
+	return func() int {
+		total := 0
+		for range bins { // want `loop performs simulated I/O without polling cancellation`
+			total += pfs.Read()
+		}
+		return total
+	}
+}
+
+// auditDetach deliberately detaches, suppressed with a reason.
+func auditDetach(ctx context.Context, n int) int {
+	return QueryContext(context.Background(), n) //mlocvet:ignore ctxflow -- audit write must survive caller cancellation
+}

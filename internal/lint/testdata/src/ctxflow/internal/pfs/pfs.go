@@ -1,0 +1,7 @@
+// Package pfs is the ctxflow fixture's stand-in for the simulated
+// filesystem: what matters is that its import path ends in
+// internal/pfs, which marks its calls as simulated I/O.
+package pfs
+
+// Read models one simulated I/O call.
+func Read() int { return 1 }

@@ -1,0 +1,80 @@
+// Package goleak is a mlocvet fixture: goroutines must reach a
+// bounding event (WaitGroup join, channel operation, close, or a
+// ctx.Done receive) on every path, or nothing can ever wait for them.
+package goleak
+
+import "sync"
+
+func compute() {}
+
+// fireAndForget never touches a join primitive: pure leak.
+func fireAndForget(n int) {
+	go func() { // want `goroutine has no bounded exit on every path`
+		x := 0
+		for i := 0; i < n; i++ {
+			x += i
+		}
+		_ = x
+	}()
+}
+
+// boundedOnOnePathOnly signals only when hit is true; the other path
+// exits silently, so a waiter can hang forever.
+func boundedOnOnePathOnly(hit bool, done chan struct{}) {
+	go func() { // want `goroutine has no bounded exit on every path`
+		if hit {
+			done <- struct{}{}
+		}
+	}()
+}
+
+// joinedByWaitGroup defers Done, which covers every exit — no
+// diagnostic.
+func joinedByWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			compute()
+		}()
+	}
+	wg.Wait()
+}
+
+// worker is joined through its declaration body: the one-call-deep
+// summary sees the deferred Done.
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	compute()
+}
+
+func joinedNamedWorker(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go worker(&wg) // no diagnostic: worker's body defers wg.Done
+	}
+	wg.Wait()
+}
+
+// producer closes its output channel on every exit — no diagnostic.
+func producer(items []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, v := range items {
+			out <- v
+		}
+	}()
+	return out
+}
+
+// detachedFlusher is unbounded by design, suppressed with a reason.
+func detachedFlusher(tick func()) {
+	go func() { //mlocvet:ignore goleak -- process-lifetime metrics flusher; reaped at exit by design
+		for i := 0; i < 3; i++ {
+			tick()
+		}
+	}()
+}

@@ -1,0 +1,35 @@
+// Package ignorereason is a mlocvet fixture: every ignore directive
+// must justify itself with a "-- reason" tail. Bare directives still
+// suppress their named analyzers but are themselves reported, and
+// only a reasoned directive can suppress that report.
+package ignorereason
+
+// bareDirective suppresses floatcmp but gives no reason.
+func bareDirective(a, b float64) bool {
+	return a == b //mlocvet:ignore floatcmp // want `mlocvet:ignore floatcmp has no reason`
+}
+
+// reasonedDirective carries the mandatory tail — no diagnostic.
+func reasonedDirective(a, b float64) bool {
+	return a == b //mlocvet:ignore floatcmp -- fixture compares exact sentinel values
+}
+
+// namelessDirective names no analyzer at all.
+func namelessDirective(a, b float64) bool {
+	return a == b //mlocvet:ignore // want `names no analyzer`
+}
+
+// selfExcuse shows a bare directive cannot suppress its own report:
+// naming ignorereason without a reason does not count.
+func selfExcuse(a, b float64) bool {
+	return a == b //mlocvet:ignore floatcmp,ignorereason // want `has no reason`
+}
+
+// grandfathered shows the escape hatch: a reasoned directive naming
+// ignorereason on the preceding line suppresses the report for the
+// bare directive below it — no diagnostic on either line.
+func grandfathered(a, b float64) bool {
+	//mlocvet:ignore ignorereason -- bare directive below is kept verbatim as migration test input
+	//mlocvet:ignore floatcmp
+	return a == b
+}

@@ -174,7 +174,7 @@ func Lint(payload string, enforceRepoNames bool) []LintProblem {
 				add(ln, "%s buckets not in ascending le order", base)
 			}
 			cum := int64(value)
-			if float64(cum) != value || cum < 0 { //mlocvet:ignore floatcmp
+			if float64(cum) != value || cum < 0 { //mlocvet:ignore floatcmp -- exact round-trip check that the cumulative count is integral
 				add(ln, "%s bucket count %s is not a non-negative integer", base, valueStr)
 			}
 			if cum < hs.lastCum {
@@ -221,7 +221,7 @@ func Lint(payload string, enforceRepoNames bool) []LintProblem {
 
 // negInf avoids a math import for one constant.
 func negInf() float64 {
-	inf, _ := strconv.ParseFloat("-Inf", 64) //mlocvet:ignore uncheckederr
+	inf, _ := strconv.ParseFloat("-Inf", 64) //mlocvet:ignore uncheckederr -- the literal "-Inf" always parses
 	return inf
 }
 
@@ -246,12 +246,12 @@ func splitSample(line string) (name string, labels []Label, value string, err er
 			break
 		}
 		if !isNameChar(c, i == 0) {
-			return "", nil, "", fmt.Errorf("bad metric name character %q", c) //mlocvet:ignore errprefix
+			return "", nil, "", fmt.Errorf("bad metric name character %q", c) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 		}
 		i++
 	}
 	if i == 0 {
-		return "", nil, "", fmt.Errorf("empty metric name") //mlocvet:ignore errprefix
+		return "", nil, "", fmt.Errorf("empty metric name") //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 	}
 	name = line[:i]
 	rest := line[i:]
@@ -265,7 +265,7 @@ func splitSample(line string) (name string, labels []Label, value string, err er
 	}
 	rest = strings.TrimLeft(rest, " ")
 	if rest == "" {
-		return "", nil, "", fmt.Errorf("sample %s has no value", name) //mlocvet:ignore errprefix
+		return "", nil, "", fmt.Errorf("sample %s has no value", name) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 	}
 	// A timestamp after the value is legal in the format; this repo
 	// never emits one, but tolerate it.
@@ -290,7 +290,7 @@ func parseLabels(s string) (end int, labels []Label, err error) {
 	i := 1
 	for {
 		if i >= len(s) {
-			return 0, nil, fmt.Errorf("unterminated label block") //mlocvet:ignore errprefix
+			return 0, nil, fmt.Errorf("unterminated label block") //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 		}
 		if s[i] == '}' {
 			return i + 1, labels, nil
@@ -304,26 +304,26 @@ func parseLabels(s string) (end int, labels []Label, err error) {
 			j++
 		}
 		if j >= len(s) || s[j] != '=' {
-			return 0, nil, fmt.Errorf("label without '='") //mlocvet:ignore errprefix
+			return 0, nil, fmt.Errorf("label without '='") //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 		}
 		key := s[i:j]
 		if key == "" {
-			return 0, nil, fmt.Errorf("empty label name") //mlocvet:ignore errprefix
+			return 0, nil, fmt.Errorf("empty label name") //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 		}
 		for k := 0; k < len(key); k++ {
 			if !isNameChar(key[k], k == 0) || key[k] == ':' {
-				return 0, nil, fmt.Errorf("bad label name %q", key) //mlocvet:ignore errprefix
+				return 0, nil, fmt.Errorf("bad label name %q", key) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 			}
 		}
 		j++ // past '='
 		if j >= len(s) || s[j] != '"' {
-			return 0, nil, fmt.Errorf("label %s value not quoted", key) //mlocvet:ignore errprefix
+			return 0, nil, fmt.Errorf("label %s value not quoted", key) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 		}
 		j++
 		var val strings.Builder
 		for {
 			if j >= len(s) {
-				return 0, nil, fmt.Errorf("unterminated label value for %s", key) //mlocvet:ignore errprefix
+				return 0, nil, fmt.Errorf("unterminated label value for %s", key) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 			}
 			c := s[j]
 			if c == '"' {
@@ -332,7 +332,7 @@ func parseLabels(s string) (end int, labels []Label, err error) {
 			}
 			if c == '\\' {
 				if j+1 >= len(s) {
-					return 0, nil, fmt.Errorf("dangling escape in label %s", key) //mlocvet:ignore errprefix
+					return 0, nil, fmt.Errorf("dangling escape in label %s", key) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 				}
 				switch s[j+1] {
 				case '\\':
@@ -342,7 +342,7 @@ func parseLabels(s string) (end int, labels []Label, err error) {
 				case 'n':
 					val.WriteByte('\n')
 				default:
-					return 0, nil, fmt.Errorf("bad escape \\%c in label %s", s[j+1], key) //mlocvet:ignore errprefix
+					return 0, nil, fmt.Errorf("bad escape \\%c in label %s", s[j+1], key) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 				}
 				j += 2
 				continue
@@ -363,10 +363,10 @@ func canonicalSig(labels []Label, allowLE bool) (sig, le string, err error) {
 	for _, l := range labels {
 		if l.Key == "le" {
 			if !allowLE {
-				return "", "", fmt.Errorf("unexpected le label") //mlocvet:ignore errprefix
+				return "", "", fmt.Errorf("unexpected le label") //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 			}
 			if le != "" {
-				return "", "", fmt.Errorf("duplicate le label") //mlocvet:ignore errprefix
+				return "", "", fmt.Errorf("duplicate le label") //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 			}
 			le = l.Value
 			continue
@@ -376,7 +376,7 @@ func canonicalSig(labels []Label, allowLE bool) (sig, le string, err error) {
 	for i := 1; i < len(rest); i++ {
 		for j := 0; j < i; j++ {
 			if rest[i].Key == rest[j].Key {
-				return "", "", fmt.Errorf("duplicate label %s", rest[i].Key) //mlocvet:ignore errprefix
+				return "", "", fmt.Errorf("duplicate label %s", rest[i].Key) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 			}
 		}
 	}

@@ -424,7 +424,7 @@ func formatValue(v float64) string {
 		return "+Inf"
 	case math.IsInf(v, -1):
 		return "-Inf"
-	case v == math.Trunc(v) && math.Abs(v) < 1e15: //mlocvet:ignore floatcmp
+	case v == math.Trunc(v) && math.Abs(v) < 1e15: //mlocvet:ignore floatcmp -- exact integrality test selecting the render format
 		return strconv.FormatInt(int64(v), 10)
 	default:
 		return strconv.FormatFloat(v, 'g', -1, 64)

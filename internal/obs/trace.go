@@ -228,7 +228,7 @@ func (s *Span) setAttr(key string, v any) {
 // measured CPU charges) so the span records simulated cost alongside
 // wall time.
 func (s *Span) AddVirt(sec float64) {
-	if s == nil || sec == 0 { //mlocvet:ignore floatcmp
+	if s == nil || sec == 0 { //mlocvet:ignore floatcmp -- exact zero is the no-op sentinel, never a computed value
 		return
 	}
 	s.mu.Lock()
@@ -416,7 +416,7 @@ func (d TraceDump) Render(w io.Writer) error {
 func renderSpan(sb *strings.Builder, s *SpanDump, depth int) {
 	indent := strings.Repeat("  ", depth)
 	fmt.Fprintf(sb, "%s%-*s wall %.3fms", indent, 24-2*depth, s.Name, s.WallMS)
-	if s.VirtS != 0 { //mlocvet:ignore floatcmp
+	if s.VirtS != 0 { //mlocvet:ignore floatcmp -- exact zero is the unset sentinel, never a computed value
 		fmt.Fprintf(sb, "  virt %.6fs", s.VirtS)
 	}
 	if !s.Ended {
@@ -442,7 +442,7 @@ func renderAttrs(attrs []Attr) []string {
 		case float64:
 			// JSON decodes every number as float64; print integers
 			// without the decimal point.
-			if v == float64(int64(v)) { //mlocvet:ignore floatcmp
+			if v == float64(int64(v)) { //mlocvet:ignore floatcmp -- exact integrality test selecting the render format
 				out = append(out, fmt.Sprintf("%s=%d", a.Key, int64(v)))
 			} else {
 				out = append(out, fmt.Sprintf("%s=%g", a.Key, v))

@@ -489,7 +489,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	if err := s.reg.WritePrometheus(w); err != nil {
 		// The response is already committed (mid-write disconnect).
-		_ = err //mlocvet:ignore uncheckederr
+		_ = err //mlocvet:ignore uncheckederr -- response already committed; a mid-write disconnect has no recovery
 	}
 }
 
@@ -566,7 +566,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	if err := enc.Encode(v); err != nil {
 		// The response is already committed; nothing to do but note it
 		// for the connection (usually a mid-write disconnect).
-		_ = err //mlocvet:ignore uncheckederr
+		_ = err //mlocvet:ignore uncheckederr -- response already committed; a mid-write disconnect has no recovery
 	}
 }
 
@@ -578,7 +578,7 @@ func writeJSONIndent(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		_ = err //mlocvet:ignore uncheckederr
+		_ = err //mlocvet:ignore uncheckederr -- response already committed; a mid-write disconnect has no recovery
 	}
 }
 

@@ -5,9 +5,11 @@
 # time (virt-s/op), and both speedups relative to the 1-worker run of
 # the same mode. BenchmarkObsOverhead (query path traced vs untraced)
 # rides along as an "obs_overhead" section, so the cost of tracing is
-# part of the recorded trajectory. CI uploads the file as an artifact;
-# the committed copy is the checkpoint the next optimization PR
-# measures against.
+# part of the recorded trajectory, and BenchmarkMlocvetRepo (one full
+# static-analysis pass over the repository) as a "vet_repo" section, so
+# the analyzer gate's CI cost is too. CI uploads the file as an
+# artifact; the committed copy is the checkpoint the next optimization
+# PR measures against.
 #
 #   ./scripts/bench_json.sh [output.json]   (default BENCH_build.json)
 #   BENCHTIME=10x ./scripts/bench_json.sh   longer runs for stabler numbers
@@ -20,6 +22,9 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 go test ./internal/core -run '^$' -bench '^(BenchmarkBuildParallel|BenchmarkObsOverhead)$' \
 	-benchmem -benchtime "$benchtime" | tee "$raw"
+# The vet pass is seconds per op; one iteration is enough signal.
+go test ./cmd/mlocvet -run '^$' -bench '^BenchmarkMlocvetRepo$' \
+	-benchmem -benchtime 1x | tee -a "$raw"
 
 # Each result line looks like
 #   BenchmarkBuildParallel/planes/w=4-8  3  50046548 ns/op  10.48 MB/s \
@@ -59,6 +64,16 @@ awk -v benchtime="$benchtime" -v goversion="$(go env GOVERSION)" '
 	omode[on] = tracing; ons[on] = ns; oallocs[on] = allocs; obytes[on] = bytes
 	if (tracing == "off") offNs = ns
 }
+/^BenchmarkMlocvetRepo/ {
+	vns = vallocs = vbytes = vanalyzers = 0
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") vns = $i
+		else if ($(i + 1) == "allocs/op") vallocs = $i
+		else if ($(i + 1) == "B/op") vbytes = $i
+		else if ($(i + 1) == "analyzers/op") vanalyzers = $i
+	}
+	haveVet = 1
+}
 END {
 	if (n == 0) { print "bench_json: no benchmark results parsed" > "/dev/stderr"; exit 1 }
 	printf "{\n"
@@ -81,7 +96,17 @@ END {
 		printf "    {\"tracing\": \"%s\", \"ns_op\": %d, \"allocs_op\": %d, \"bytes_op\": %d, \"vs_off\": %.3f}%s\n", \
 			omode[i], ons[i], oallocs[i], obytes[i], ratio, (i < on ? "," : "")
 	}
-	printf "  ]\n}\n"
+	printf "  ],\n"
+	printf "  \"vet_repo\": "
+	if (haveVet) {
+		# %.0f: the pass is seconds, and ns counts overflow %d in
+		# 32-bit awks.
+		printf "{\"ns_op\": %.0f, \"allocs_op\": %.0f, \"bytes_op\": %.0f, \"analyzers\": %.0f}\n", \
+			vns, vallocs, vbytes, vanalyzers
+	} else {
+		printf "null\n"
+	}
+	printf "}\n"
 }
 ' "$raw" >"$out"
 echo "wrote $out"
