@@ -4,9 +4,10 @@ FUZZTIME ?= 10s
 # Packages exercising the goroutine-based SPMD runtime and the
 # concurrent query service — the ones where a data race would actually
 # bite.
-RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage ./internal/cache ./internal/server ./internal/obs
+RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage ./internal/cache ./internal/server ./internal/obs \
+	./internal/cluster/shardmap ./internal/cluster/health ./internal/cluster/fault ./internal/cluster/router
 
-.PHONY: build test vet mlocvet mlocvet-baseline race bench-json fuzz-short fuzz-list fuzz-list-check serve-smoke obslint check
+.PHONY: build test vet mlocvet mlocvet-baseline race bench-json fuzz-short fuzz-list fuzz-list-check serve-smoke cluster-smoke obslint check
 
 build:
 	$(GO) build ./...
@@ -64,10 +65,17 @@ fuzz-list-check:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+## cluster-smoke: boot a router over two data nodes, compare a routed
+## query against a direct one, kill a node via fault injection and
+## assert a degraded partial result, then validate the router's
+## /metrics with mloclint and drain it gracefully.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
 ## obslint: promtool-style validation of the metrics exposition and
 ## trace dumps against an in-process server (cmd/mloclint).
 obslint:
 	$(GO) run ./cmd/mloclint -selfcheck
 
 ## check: everything CI runs (minus the fuzzing).
-check: build test vet fuzz-list-check race obslint serve-smoke
+check: build test vet fuzz-list-check race obslint serve-smoke cluster-smoke

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// cmdCluster dispatches the cluster subcommands:
+//
+//	mlocctl cluster nodes -remote ROUTER            shard topology + health
+//	mlocctl cluster fault -remote NODE -mode MODE   drive a node's fault injector
+func cmdCluster(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("cluster: usage: mlocctl cluster <nodes|fault> [flags]")
+	}
+	switch args[0] {
+	case "nodes":
+		return cmdClusterNodes(args[1:])
+	case "fault":
+		return cmdClusterFault(args[1:])
+	default:
+		return fmt.Errorf("cluster: unknown subcommand %q (want nodes or fault)", args[0])
+	}
+}
+
+// cmdClusterNodes renders a router's /cluster/nodes topology.
+func cmdClusterNodes(args []string) error {
+	fs := flag.NewFlagSet("cluster nodes", flag.ExitOnError)
+	remote := fs.String("remote", "", "router address, e.g. 127.0.0.1:8080")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	var topo struct {
+		Nodes []struct {
+			Node   string `json:"node"`
+			Slabs  int    `json:"slabs"`
+			Health *struct {
+				Up        bool    `json:"up"`
+				Failures  int     `json:"consecutive_failures"`
+				ProbeMS   float64 `json:"last_probe_ms"`
+				LastError string  `json:"last_error"`
+			} `json:"health"`
+		} `json:"nodes"`
+		Replication int      `json:"replication"`
+		Seed        uint64   `json:"seed"`
+		SlabsPerVar int      `json:"slabs_per_var"`
+		Vars        []string `json:"vars"`
+	}
+	if err := client.getJSON("/cluster/nodes", &topo); err != nil {
+		return err
+	}
+	fmt.Printf("cluster: %d nodes, replication %d, %d slabs/var, seed %d\n",
+		len(topo.Nodes), topo.Replication, topo.SlabsPerVar, topo.Seed)
+	fmt.Printf("vars: %s\n", strings.Join(topo.Vars, ", "))
+	for _, n := range topo.Nodes {
+		state := "unprobed"
+		detail := ""
+		if h := n.Health; h != nil {
+			if h.Up {
+				state = "up"
+				detail = fmt.Sprintf(" probe %.1fms", h.ProbeMS)
+			} else {
+				state = "DOWN"
+				detail = fmt.Sprintf(" %d consecutive failures: %s", h.Failures, h.LastError)
+			}
+		}
+		fmt.Printf("  %-28s %-8s %3d primary slabs%s\n", n.Node, state, n.Slabs, detail)
+	}
+	return nil
+}
+
+// cmdClusterFault drives a data node's fault injector (POST
+// /cluster/fault), the operational face of cluster.FaultInjector.
+func cmdClusterFault(args []string) error {
+	fs := flag.NewFlagSet("cluster fault", flag.ExitOnError)
+	remote := fs.String("remote", "", "data-node address, e.g. 127.0.0.1:8081")
+	mode := fs.String("mode", "", "off | kill | delay | corrupt (required)")
+	delay := fs.Duration("delay", 0, "held duration for delay mode, e.g. 100ms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	if *mode == "" {
+		return fmt.Errorf("cluster fault: -mode is required (off, kill, delay, or corrupt)")
+	}
+	payload, err := json.Marshal(map[string]any{
+		"mode":     *mode,
+		"delay_ms": delay.Milliseconds(),
+	})
+	if err != nil {
+		return err
+	}
+	var state struct {
+		Mode    string `json:"mode"`
+		DelayMS int64  `json:"delay_ms"`
+	}
+	if err := client.postJSON("/cluster/fault", payload, &state); err != nil {
+		return err
+	}
+	if state.Mode == "delay" {
+		fmt.Printf("fault: %s now in mode %q (delay %s)\n",
+			*remote, state.Mode, time.Duration(state.DelayMS)*time.Millisecond)
+	} else {
+		fmt.Printf("fault: %s now in mode %q\n", *remote, state.Mode)
+	}
+	return nil
+}

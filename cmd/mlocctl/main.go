@@ -16,6 +16,8 @@
 //	mlocctl query -remote HOST:PORT -var NAME [flags] # query a running mlocd
 //	mlocctl stats -remote HOST:PORT                   # mlocd counters, one "key value" per line
 //	mlocctl trace -remote HOST:PORT [-id N]           # retained query traces (span trees)
+//	mlocctl cluster nodes -remote HOST:PORT           # router shard topology and node health
+//	mlocctl cluster fault -remote HOST:PORT -mode kill|delay|corrupt|off [-delay 100ms]
 //
 // Run flags:
 //
@@ -69,6 +71,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -80,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mlocctl <gen|run|query|stats|trace> [flags]   (run `mlocctl <cmd> -h` for flags)")
+	fmt.Fprintln(os.Stderr, "usage: mlocctl <gen|run|query|stats|trace|cluster> [flags]   (run `mlocctl <cmd> -h` for flags)")
 }
 
 func cmdGen(args []string) error {

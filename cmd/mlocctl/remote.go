@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,9 +37,74 @@ func newRemoteClient(addr string) (*remoteClient, error) {
 	}, nil
 }
 
+// maxRetryAfter caps how long the client sleeps on a Retry-After hint,
+// so a miscalibrated server cannot park the CLI for minutes.
+const maxRetryAfter = 5 * time.Second
+
+// doRetry sends a request and, when the server sheds load (429 or 503)
+// with a usable Retry-After header, sleeps the hinted duration (capped
+// at maxRetryAfter) and retries exactly once. Anything else — including
+// sheds without the header — is returned as-is; one bounded retry
+// rides out a drain or a momentary queue spike without turning the CLI
+// into a retry storm.
+func (c *remoteClient) doRetry(send func() (*http.Response, error)) (*http.Response, error) {
+	resp, err := send()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+		return resp, nil
+	}
+	wait, ok := parseRetryAfter(resp.Header.Get("Retry-After"))
+	if !ok {
+		return resp, nil
+	}
+	// Drain the shed response so the connection is reusable.
+	if _, err := io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20)); err != nil {
+		_ = err //mlocvet:ignore uncheckederr -- draining a shed response body is best-effort
+	}
+	resp.Body.Close() //mlocvet:ignore uncheckederr -- close error on a shed response is unactionable
+	fmt.Fprintf(os.Stderr, "mlocctl: server busy (%s), retrying once in %s\n", resp.Status, wait)
+	time.Sleep(wait)
+	return send()
+}
+
+// parseRetryAfter handles the delta-seconds form of the header; HTTP
+// dates and garbage report unusable.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs) * time.Second
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
+}
+
 // getJSON decodes a GET endpoint into out.
 func (c *remoteClient) getJSON(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
+	resp, err := c.doRetry(func() (*http.Response, error) {
+		return c.http.Get(c.base + path)
+	})
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- close error after the body was read is unactionable
+	if resp.StatusCode != http.StatusOK {
+		return remoteError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postJSON posts a payload and decodes the response into out, with the
+// same bounded Retry-After handling as getJSON (the payload bytes are
+// re-sendable, so the retry repeats the identical request).
+func (c *remoteClient) postJSON(path string, payload []byte, out any) error {
+	resp, err := c.doRetry(func() (*http.Response, error) {
+		return c.http.Post(c.base+path, "application/json", bytes.NewReader(payload))
+	})
 	if err != nil {
 		return err
 	}
@@ -130,14 +197,6 @@ func cmdQuery(args []string) error {
 		return err
 	}
 
-	resp, err := client.http.Post(client.base+"/query", "application/json", bytes.NewReader(payload))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- close error after the body was read is unactionable
-	if resp.StatusCode != http.StatusOK {
-		return remoteError(resp)
-	}
 	var res struct {
 		Matches []struct {
 			Index int64   `json:"index"`
@@ -157,8 +216,16 @@ func cmdQuery(args []string) error {
 		} `json:"time"`
 		QueuedMS float64 `json:"queued_ms"`
 		TraceID  uint64  `json:"trace_id"`
+		// Cluster-only fields; absent (zero) on single-node mlocd.
+		Degraded bool `json:"degraded"`
+		Shards   []struct {
+			Node  string `json:"node"`
+			Rows  string `json:"rows"`
+			OK    bool   `json:"ok"`
+			Error string `json:"error"`
+		} `json:"shards"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+	if err := client.postJSON("/query", payload, &res); err != nil {
 		return err
 	}
 
@@ -168,6 +235,14 @@ func cmdQuery(args []string) error {
 	}
 	fmt.Printf("query: %d matches, %d bins touched, %d blocks read, %.2f MB read, %d cache hits\n",
 		res.MatchesTotal, res.BinsAccessed, res.BlocksRead, float64(res.BytesRead)/1e6, res.CacheHits)
+	if res.Degraded {
+		fmt.Printf("  degraded: PARTIAL RESULT — some shards failed:\n")
+		for _, sh := range res.Shards {
+			if !sh.OK {
+				fmt.Printf("    shard rows %s on %s: %s\n", sh.Rows, sh.Node, sh.Error)
+			}
+		}
+	}
 	if res.TraceID != 0 {
 		fmt.Printf("  trace: %d (inspect with `mlocctl trace -remote %s -id %d`)\n",
 			res.TraceID, *remote, res.TraceID)

@@ -1,9 +1,14 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"mloc/internal/cache"
 	"mloc/internal/core"
@@ -140,5 +145,145 @@ func TestRemoteShapeLookup(t *testing.T) {
 	}
 	if _, err := client.remoteShape("ghost"); err == nil {
 		t.Error("remoteShape for unknown variable returned no error")
+	}
+}
+
+// TestRetryAfterBoundedRetry: a 503 + Retry-After is retried exactly
+// once after the hinted sleep; the second answer wins.
+func TestRetryAfterBoundedRetry(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	}))
+	t.Cleanup(ts.Close)
+	client, err := newRemoteClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := client.getJSON("/stats", &out); err != nil {
+		t.Fatalf("retried GET failed: %v", err)
+	}
+	if !out.OK || hits.Load() != 2 {
+		t.Fatalf("ok=%v hits=%d, want success on the second attempt", out.OK, hits.Load())
+	}
+}
+
+// TestRetryAfterSingleRetryOnly: a server that sheds forever gets
+// exactly two attempts, then the error surfaces.
+func TestRetryAfterSingleRetryOnly(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Retry-After", "0")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusTooManyRequests)
+		fmt.Fprintln(w, `{"error":"queue full"}`)
+	}))
+	t.Cleanup(ts.Close)
+	client, err := newRemoteClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = client.postJSON("/query", []byte(`{"var":"x"}`), &struct{}{})
+	if err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Fatalf("error = %v, want surfaced queue-full", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server hit %d times, want exactly 2", hits.Load())
+	}
+}
+
+// TestRetryAfterAbsentHeaderNoRetry: a shed without the header is not
+// retried at all.
+func TestRetryAfterAbsentHeaderNoRetry(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(ts.Close)
+	client, err := newRemoteClient(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.getJSON("/stats", &struct{}{}); err == nil {
+		t.Fatal("shed without Retry-After did not error")
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server hit %d times, want exactly 1 (no retry without a hint)", hits.Load())
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"2", 2 * time.Second, true},
+		{"600", maxRetryAfter, true}, // capped
+		{" 3 ", 3 * time.Second, true},
+		{"", 0, false},
+		{"-1", 0, false},
+		{"soon", 0, false},
+		{"Wed, 21 Oct 2015 07:28:00 GMT", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfter(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseRetryAfter(%q) = %v %v, want %v %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+// TestCmdClusterFaultAndNodes drives the cluster subcommands against
+// stub endpoints speaking the router/injector wire formats.
+func TestCmdClusterFaultAndNodes(t *testing.T) {
+	var gotFault atomic.Value
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/fault", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body) //mlocvet:ignore uncheckederr -- stub server; a short read fails the assertion below
+		gotFault.Store(string(body))
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"mode":"delay","delay_ms":100}`)
+	})
+	mux.HandleFunc("/cluster/nodes", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"nodes":[{"node":"a:1","slabs":9,"health":{"up":true,"last_probe_ms":0.4}},
+			{"node":"b:2","slabs":7,"health":{"up":false,"consecutive_failures":3,"last_error":"connection refused"}}],
+			"replication":2,"seed":1,"slabs_per_var":16,"vars":["phi"]}`)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	if err := cmdCluster([]string{"fault", "-remote", addr, "-mode", "delay", "-delay", "100ms"}); err != nil {
+		t.Fatalf("cluster fault: %v", err)
+	}
+	sent, _ := gotFault.Load().(string)
+	if !strings.Contains(sent, `"mode":"delay"`) || !strings.Contains(sent, `"delay_ms":100`) {
+		t.Fatalf("fault request body = %s", sent)
+	}
+	if err := cmdCluster([]string{"nodes", "-remote", addr}); err != nil {
+		t.Fatalf("cluster nodes: %v", err)
+	}
+	if err := cmdCluster([]string{"fault", "-remote", addr}); err == nil {
+		t.Error("fault without -mode accepted")
+	}
+	if err := cmdCluster([]string{"bogus"}); err == nil {
+		t.Error("unknown cluster subcommand accepted")
+	}
+	if err := cmdCluster(nil); err == nil {
+		t.Error("bare cluster accepted")
 	}
 }

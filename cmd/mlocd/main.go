@@ -1,12 +1,21 @@
-// Command mlocd is the MLOC query-service daemon: it builds (or
-// ingests) variable stores on the simulated PFS, then serves
-// concurrent query traffic over HTTP/JSON with admission control,
-// cooperative cancellation, and a shared decoded-unit cache.
+// Command mlocd is the MLOC query-service daemon. It runs in one of
+// two roles:
+//
+//   - -role data (the default): build (or ingest) variable stores on
+//     the simulated PFS, then serve concurrent query traffic over
+//     HTTP/JSON with admission control, cooperative cancellation, and
+//     a shared decoded-unit cache.
+//   - -role router: front a cluster of data nodes. The router learns
+//     the variable set from its nodes at startup, shards each variable
+//     into storage-order row slabs placed by consistent hash, and
+//     answers the same /query API by scatter-gathering sub-queries,
+//     with hedged retries, failover, and degraded partial results.
 //
 // Usage:
 //
 //	mlocd -addr 127.0.0.1:8080 -store phi=gts:512 -store chi=s3d:64:2
 //	mlocd -store t=file:temps.f64:1024x1024 -cache-mb 128
+//	mlocd -role router -node 127.0.0.1:8081 -node 127.0.0.1:8082 -replication 2
 //
 // Store specs take the form name=source, where source is one of
 //
@@ -14,15 +23,17 @@
 //	s3d:SIDE[:SEED]        synthetic 3-D S3D-like field
 //	file:PATH:SHAPE        raw little-endian float64 file (mlocctl gen)
 //
-// Endpoints:
+// Endpoints (both roles serve the same query surface):
 //
 //	POST /query         {"var":..., "vc":{"min":..,"max":..}, "sc":{"lo":[..],"hi":[..]}, "plod":N, "ranks":N, "index_only":bool}
-//	GET  /stats         flat JSON counters (admission, outcomes, cache)
+//	GET  /stats         flat JSON counters (admission, outcomes, cache | routing)
 //	GET  /vars          served variables with shapes
 //	GET  /healthz       readiness (503 while draining)
-//	GET  /metrics       Prometheus text exposition (server, cache, PFS families)
+//	GET  /metrics       Prometheus text exposition
 //	GET  /debug/traces  retained span trees, newest first (?id=N for one)
 //	GET  /debug/pprof/  Go runtime profiles (only with -pprof)
+//	GET|POST /cluster/fault   data nodes: fault-injection admin (mlocctl cluster fault)
+//	GET  /cluster/nodes       router: shard topology and per-node health
 //
 // Every query (and each startup store build) runs under a trace whose
 // span tree decomposes its virtual latency into fetch, decode,
@@ -50,6 +61,9 @@ import (
 	"time"
 
 	"mloc/internal/cache"
+	"mloc/internal/cluster/fault"
+	"mloc/internal/cluster/health"
+	"mloc/internal/cluster/router"
 	"mloc/internal/core"
 	"mloc/internal/datagen"
 	"mloc/internal/grid"
@@ -58,11 +72,11 @@ import (
 	"mloc/internal/server"
 )
 
-// storeSpecs collects repeatable -store flags.
-type storeSpecs []string
+// stringList collects repeatable string flags (-store, -node).
+type stringList []string
 
-func (s *storeSpecs) String() string { return strings.Join(*s, ",") }
-func (s *storeSpecs) Set(v string) error {
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
 	*s = append(*s, v)
 	return nil
 }
@@ -76,9 +90,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("mlocd", flag.ExitOnError)
+	role := fs.String("role", "data", "process role: data (serve stores) | router (front a cluster of data nodes)")
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
-	var specs storeSpecs
-	fs.Var(&specs, "store", "variable store spec name=gts:SIDE[:SEED] | name=s3d:SIDE[:SEED] | name=file:PATH:SHAPE (repeatable)")
+	var specs stringList
+	fs.Var(&specs, "store", "variable store spec name=gts:SIDE[:SEED] | name=s3d:SIDE[:SEED] | name=file:PATH:SHAPE (repeatable; data role)")
 	chunkStr := fs.String("chunk", "", "chunk size, e.g. 64x64 (default side/16 per dim)")
 	bins := fs.Int("bins", 100, "equal-frequency bins per store")
 	mode := fs.String("mode", "col", "MLOC variant: col | iso | isa")
@@ -93,8 +108,40 @@ func run(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/")
 	slowQuery := fs.Duration("slow-query-threshold", 0, "log queries slower than this wall-clock duration (0 disables)")
 	traceBuffer := fs.Int("trace-buffer", obs.DefaultTraceCapacity, "query traces retained for /debug/traces")
+	var nodes stringList
+	fs.Var(&nodes, "node", "data-node address host:port (repeatable; router role)")
+	replication := fs.Int("replication", 2, "data nodes owning each shard (router role)")
+	slabsPerVar := fs.Int("slabs-per-var", 0, "row slabs per variable (router role; default 4x nodes)")
+	shardSeed := fs.Uint64("shard-seed", 1, "shard-map placement seed (router role)")
+	shardTimeout := fs.Duration("shard-timeout", 10*time.Second, "per-shard sub-query budget including retries (router role)")
+	hedgeAfter := fs.Duration("hedge-after", 250*time.Millisecond, "launch a replica hedge when a shard is this slow; 0 disables (router role)")
+	healthInterval := fs.Duration("health-interval", time.Second, "data-node health probe interval (router role)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *role {
+	case "router":
+		if len(specs) > 0 {
+			return fmt.Errorf("-store is only valid with -role data; a router builds nothing")
+		}
+		return runRouter(routerOpts{
+			addr:           *addr,
+			nodes:          nodes,
+			replication:    *replication,
+			slabsPerVar:    *slabsPerVar,
+			seed:           *shardSeed,
+			shardTimeout:   *shardTimeout,
+			hedgeAfter:     *hedgeAfter,
+			healthInterval: *healthInterval,
+			maxMatches:     *maxMatches,
+			drainTimeout:   *drainTimeout,
+			traceBuffer:    *traceBuffer,
+			pprofOn:        *pprofOn,
+		})
+	case "data":
+		// fall through below
+	default:
+		return fmt.Errorf("unknown -role %q (want data or router)", *role)
 	}
 	if len(specs) == 0 {
 		return fmt.Errorf("at least one -store spec is required")
@@ -140,10 +187,90 @@ func run(args []string) error {
 		return err
 	}
 
-	handler := svc.Handler()
-	if *pprofOn {
-		// Runtime profiles ride on an outer mux so they exist only when
-		// asked for; everything else falls through to the service.
+	// The service rides behind a fault injector so tests and operators
+	// can make this node misbehave on demand; the injector's admin
+	// endpoint sits OUTSIDE the wrap so a killed node stays revivable.
+	inj := fault.New()
+	handler := composeDataHandler(svc.Handler(), inj, *pprofOn)
+	return serveAndDrain(*addr, handler, svc.SetDraining, *drainTimeout, nil)
+}
+
+// composeDataHandler mounts the data-node handler stack: the query
+// service wrapped by the fault injector, the injector admin, and
+// (optionally) pprof — admin and profiles are exempt from injection.
+func composeDataHandler(svc http.Handler, inj *fault.Injector, pprofOn bool) http.Handler {
+	outer := http.NewServeMux()
+	outer.Handle("/", inj.Wrap(svc))
+	outer.Handle("/cluster/fault", inj.AdminHandler())
+	if pprofOn {
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Println("mlocd: pprof enabled at /debug/pprof/")
+	}
+	return outer
+}
+
+// routerOpts carries the router-role CLI surface into runRouter.
+type routerOpts struct {
+	addr           string
+	nodes          []string
+	replication    int
+	slabsPerVar    int
+	seed           uint64
+	shardTimeout   time.Duration
+	hedgeAfter     time.Duration
+	healthInterval time.Duration
+	maxMatches     int
+	drainTimeout   time.Duration
+	traceBuffer    int
+	pprofOn        bool
+}
+
+// runRouter starts the metadata/routing plane: a health checker over
+// the data nodes, the shard map bootstrap, and the scatter-gather
+// query front end.
+func runRouter(o routerOpts) error {
+	if len(o.nodes) == 0 {
+		return fmt.Errorf("router role requires at least one -node")
+	}
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(o.traceBuffer)
+	hc, err := health.New(health.Config{Nodes: o.nodes, Interval: o.healthInterval})
+	if err != nil {
+		return err
+	}
+	hc.Instrument(reg)
+	hctx, hcancel := context.WithCancel(context.Background())
+	hc.Start(hctx)
+	stopHealth := func() {
+		hcancel()
+		hc.Wait()
+	}
+	rt, err := router.New(router.Config{
+		Nodes:        o.nodes,
+		Replication:  o.replication,
+		SlabsPerVar:  o.slabsPerVar,
+		Seed:         o.seed,
+		ShardTimeout: o.shardTimeout,
+		HedgeAfter:   o.hedgeAfter,
+		MaxMatches:   o.maxMatches,
+		Health:       hc,
+		Registry:     reg,
+		Tracer:       tracer,
+	})
+	if err != nil {
+		stopHealth()
+		return err
+	}
+	if err := rt.Bootstrap(context.Background()); err != nil {
+		stopHealth()
+		return err
+	}
+	var handler http.Handler = rt.Handler()
+	if o.pprofOn {
 		outer := http.NewServeMux()
 		outer.Handle("/", handler)
 		outer.HandleFunc("/debug/pprof/", pprof.Index)
@@ -154,8 +281,15 @@ func run(args []string) error {
 		handler = outer
 		fmt.Println("mlocd: pprof enabled at /debug/pprof/")
 	}
+	fmt.Printf("mlocd: routing %d vars across %d data nodes\n", len(rt.Vars()), len(o.nodes))
+	return serveAndDrain(o.addr, handler, rt.SetDraining, o.drainTimeout, stopHealth)
+}
 
-	ln, err := net.Listen("tcp", *addr)
+// serveAndDrain is the shared daemon lifecycle: listen, serve, and on
+// SIGINT/SIGTERM stop admitting work, drain in-flight requests within
+// the budget, then run afterDrain (health-checker teardown, etc).
+func serveAndDrain(addr string, handler http.Handler, setDraining func(bool), drainTimeout time.Duration, afterDrain func()) error {
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -171,12 +305,15 @@ func run(args []string) error {
 
 	select {
 	case sig := <-sigc:
-		fmt.Printf("mlocd: %v received, draining (budget %s)\n", sig, *drainTimeout)
-		svc.SetDraining(true)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		fmt.Printf("mlocd: %v received, draining (budget %s)\n", sig, drainTimeout)
+		setDraining(true)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
+		}
+		if afterDrain != nil {
+			afterDrain()
 		}
 		fmt.Println("mlocd: drained, bye")
 		return nil

@@ -12,6 +12,7 @@ import (
 	"testing"
 
 	"mloc/internal/cache"
+	"mloc/internal/cluster/fault"
 	"mloc/internal/core"
 	"mloc/internal/obs"
 	"mloc/internal/pfs"
@@ -152,5 +153,69 @@ func TestBuildStoresAndServe(t *testing.T) {
 	}
 	if res.MatchesTotal == 0 {
 		t.Fatal("full-range query matched nothing")
+	}
+}
+
+// TestComposeDataHandler checks the data-node handler stack: the fault
+// admin is reachable outside the injected path, and a kill-mode
+// injector drops service requests while the admin stays alive to
+// revive the node.
+func TestComposeDataHandler(t *testing.T) {
+	svc := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	inj := fault.New()
+	ts := httptest.NewServer(composeDataHandler(svc, inj, false))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("service status %d", resp.StatusCode)
+	}
+
+	if err := inj.Set(fault.Kill, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(ts.URL + "/vars"); err == nil {
+		t.Fatal("killed node answered a service request")
+	}
+	resp, err = http.Post(ts.URL+"/cluster/fault", "application/json",
+		strings.NewReader(`{"mode":"off"}`))
+	if err != nil {
+		t.Fatalf("fault admin unreachable on a killed node: %v", err)
+	}
+	resp.Body.Close() //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault admin status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("revived node status %d", resp.StatusCode)
+	}
+}
+
+// TestRunRoleValidation covers the CLI surface around -role without
+// starting listeners.
+func TestRunRoleValidation(t *testing.T) {
+	if err := run([]string{"-role", "bogus"}); err == nil || !strings.Contains(err.Error(), "unknown -role") {
+		t.Errorf("bogus role error = %v", err)
+	}
+	if err := run([]string{"-role", "router"}); err == nil || !strings.Contains(err.Error(), "at least one -node") {
+		t.Errorf("router without nodes error = %v", err)
+	}
+	if err := run([]string{"-role", "router", "-node", "x", "-store", "phi=gts:16"}); err == nil ||
+		!strings.Contains(err.Error(), "only valid with -role data") {
+		t.Errorf("router with -store error = %v", err)
+	}
+	if err := run([]string{}); err == nil || !strings.Contains(err.Error(), "-store spec is required") {
+		t.Errorf("data without stores error = %v", err)
 	}
 }

@@ -1,0 +1,316 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"mloc/internal/query"
+	"mloc/internal/server"
+)
+
+// Handler returns the router's HTTP routes — the full single-node
+// query API plus the cluster introspection endpoints.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", rt.counted("query", rt.handleQuery))
+	mux.HandleFunc("/vars", rt.counted("vars", rt.handleVars))
+	mux.HandleFunc("/stats", rt.counted("stats", rt.handleStats))
+	mux.HandleFunc("/healthz", rt.counted("healthz", rt.handleHealthz))
+	mux.HandleFunc("/metrics", rt.counted("metrics", rt.handleMetrics))
+	mux.HandleFunc("/debug/traces", rt.counted("traces", rt.handleTraces))
+	mux.HandleFunc("/cluster/nodes", rt.counted("nodes", rt.handleNodes))
+	return mux
+}
+
+// counted wraps a handler with its per-endpoint request counter.
+func (rt *Router) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	ctr := rt.requests[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctr.Inc()
+		h(w, r)
+	}
+}
+
+// shardDetail is the per-shard report attached to routed responses.
+type shardDetail struct {
+	// Node is the data node that answered (or the primary owner when
+	// every replica failed).
+	Node string `json:"node"`
+	// Rows is the half-open dimension-0 row range the shard covered.
+	Rows string `json:"rows"`
+	OK   bool   `json:"ok"`
+	// Hedged reports that a replica was raced against the primary.
+	Hedged bool `json:"hedged,omitempty"`
+	// Failovers counts replica retries after hard failures.
+	Failovers int    `json:"failovers,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// MS is the shard call's wall-clock latency.
+	MS float64 `json:"ms"`
+}
+
+// routedWire is the routed query response: the single-node wire format
+// with the cluster's partial-results annotations appended.
+type routedWire struct {
+	server.ResultWire
+	// Degraded is true when at least one shard failed and the matches
+	// are therefore a subset of the full answer.
+	Degraded bool `json:"degraded"`
+	// Shards details every shard call, failed ones first-class.
+	Shards []shardDetail `json:"shards"`
+}
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		server.WriteError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	rt.queries.Inc()
+	if rt.draining.Load() {
+		rt.outcomes[outcomeRejected].Inc()
+		w.Header().Set("Retry-After", "5")
+		server.WriteError(w, http.StatusServiceUnavailable, "router is draining")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes)
+	wire, err := server.ParseRequest(r.Body)
+	if err != nil {
+		rt.outcomes[outcomeRejected].Inc()
+		server.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	vi, ok := rt.vars[wire.Var]
+	if !ok {
+		rt.outcomes[outcomeRejected].Inc()
+		server.WriteError(w, http.StatusNotFound, fmt.Sprintf("unknown variable %q", wire.Var))
+		return
+	}
+	calls, err := rt.plan(vi, wire)
+	if err != nil {
+		rt.outcomes[outcomeRejected].Inc()
+		server.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, root := rt.cfg.Tracer.StartTrace(r.Context(), "route")
+	defer root.End()
+	root.SetString("var", wire.Var)
+	root.SetInt("fanout", int64(len(calls)))
+
+	outcomes := rt.scatter(ctx, calls)
+
+	parts := make([]*query.Result, 0, len(outcomes))
+	details := make([]shardDetail, 0, len(outcomes))
+	truncated := false
+	failed := 0
+	for _, o := range outcomes {
+		d := shardDetail{
+			Node:      o.node,
+			Rows:      fmt.Sprintf("[%d,%d)", o.call.lo, o.call.hi),
+			OK:        o.err == nil,
+			Hedged:    o.hedged,
+			Failovers: o.failovers,
+			MS:        float64(o.elapsed.Microseconds()) / 1000,
+		}
+		if o.err != nil {
+			failed++
+			d.Error = o.err.Error()
+			if d.Node == "" {
+				d.Node = o.call.replicas[0]
+			}
+		} else {
+			parts = append(parts, o.res.ToResult())
+			truncated = truncated || o.truncated
+		}
+		details = append(details, d)
+	}
+
+	if len(outcomes) > 0 && failed == len(outcomes) {
+		rt.outcomes[outcomeFailed].Inc()
+		root.SetBool("failed", true)
+		server.WriteError(w, http.StatusBadGateway,
+			fmt.Sprintf("all %d shards failed; first: %s", failed, details[0].Error))
+		return
+	}
+
+	merged := query.MergeResults(parts)
+	out := routedWire{
+		ResultWire: server.BuildResult(wire.Var, merged, rt.cfg.MaxMatches, 0),
+		Degraded:   failed > 0,
+		Shards:     details,
+	}
+	// A shard that truncated its own response caps the merged total
+	// too; surface it rather than claiming an exact count.
+	out.Truncated = out.Truncated || truncated
+	out.TraceID = root.TraceID()
+	root.SetInt("matches", int64(out.MatchesTotal))
+	if failed > 0 {
+		rt.partials.Inc()
+		rt.outcomes[outcomeDegraded].Inc()
+		root.SetBool("degraded", true)
+		rt.cfg.Logf("router: degraded result for var=%s: %d/%d shards failed",
+			wire.Var, failed, len(outcomes))
+	} else {
+		rt.outcomes[outcomeOK].Inc()
+	}
+	server.WriteJSON(w, http.StatusOK, out)
+}
+
+func (rt *Router) handleVars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		server.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	vars := make([]server.VarWire, 0, len(rt.varNames))
+	for _, name := range rt.varNames {
+		vi := rt.vars[name]
+		vars = append(vars, server.VarWire{Var: name, Shape: vi.shape, Bins: vi.bins, Mode: vi.mode})
+	}
+	server.WriteJSON(w, http.StatusOK, vars)
+}
+
+// handleStats serves the flat expvar-style counter view, mirroring the
+// data-node /stats contract so mlocctl stats works against a router.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		server.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	stats := map[string]int64{
+		"queries_total":         rt.queries.Value(),
+		"queries_ok":            rt.outcomes[outcomeOK].Value(),
+		"queries_degraded":      rt.outcomes[outcomeDegraded].Value(),
+		"queries_failed":        rt.outcomes[outcomeFailed].Value(),
+		"queries_rejected":      rt.outcomes[outcomeRejected].Value(),
+		"fanout_total":          rt.fanout.Value(),
+		"hedges_total":          rt.hedges.Value(),
+		"failovers_total":       rt.failovers.Value(),
+		"partial_results_total": rt.partials.Value(),
+		"nodes":                 int64(len(rt.cfg.Nodes)),
+		"vars":                  int64(len(rt.varNames)),
+		"draining":              0,
+	}
+	if rt.draining.Load() {
+		stats["draining"] = 1
+	}
+	if rt.cfg.Health != nil {
+		stats["nodes_up"] = int64(rt.cfg.Health.UpCount())
+	}
+	server.WriteJSON(w, http.StatusOK, stats)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		server.WriteError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	if rt.cfg.Health != nil && rt.cfg.Health.UpCount() == 0 {
+		server.WriteError(w, http.StatusServiceUnavailable, "no data nodes are up")
+		return
+	}
+	server.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		server.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	if err := rt.cfg.Registry.WritePrometheus(w); err != nil {
+		_ = err //mlocvet:ignore uncheckederr -- response already committed; a mid-write disconnect has no recovery
+	}
+}
+
+func (rt *Router) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		server.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if id := r.URL.Query().Get("id"); id != "" {
+		n, err := strconv.ParseUint(id, 10, 64)
+		if err != nil {
+			server.WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad trace id %q", id))
+			return
+		}
+		td, ok := rt.cfg.Tracer.DumpByID(n)
+		if !ok {
+			server.WriteError(w, http.StatusNotFound, fmt.Sprintf("trace %d not retained", n))
+			return
+		}
+		server.WriteJSONIndent(w, http.StatusOK, td)
+		return
+	}
+	server.WriteJSONIndent(w, http.StatusOK, rt.cfg.Tracer.Dump())
+}
+
+// nodeWire is one data node in GET /cluster/nodes.
+type nodeWire struct {
+	Node string `json:"node"`
+	// Slabs is how many slab keys name this node as primary owner.
+	Slabs int `json:"slabs"`
+	// Health is the checker's view; absent when no checker runs.
+	Health *healthView `json:"health,omitempty"`
+}
+
+// healthView mirrors health.NodeStatus minus the redundant node name.
+type healthView struct {
+	Up          bool    `json:"up"`
+	Failures    int     `json:"consecutive_failures"`
+	LastProbeMS float64 `json:"last_probe_ms"`
+	LastError   string  `json:"last_error,omitempty"`
+	Transitions int64   `json:"transitions"`
+}
+
+// topologyWire is the GET /cluster/nodes response.
+type topologyWire struct {
+	Nodes       []nodeWire `json:"nodes"`
+	Replication int        `json:"replication"`
+	Seed        uint64     `json:"seed"`
+	SlabsPerVar int        `json:"slabs_per_var"`
+	Vars        []string   `json:"vars"`
+}
+
+func (rt *Router) handleNodes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		server.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	primaries := make(map[string]int, len(rt.cfg.Nodes))
+	for _, name := range rt.varNames {
+		for _, sl := range rt.vars[name].slabs {
+			primaries[sl.owners[0]]++
+		}
+	}
+	var healthByNode map[string]*healthView
+	if rt.cfg.Health != nil {
+		healthByNode = make(map[string]*healthView)
+		for _, st := range rt.cfg.Health.Snapshot() {
+			healthByNode[st.Node] = &healthView{
+				Up:          st.Up,
+				Failures:    st.Failures,
+				LastProbeMS: st.LastProbeMS,
+				LastError:   st.LastError,
+				Transitions: st.Transitions,
+			}
+		}
+	}
+	nodes := make([]nodeWire, 0, len(rt.cfg.Nodes))
+	for _, n := range rt.smap.Nodes() {
+		nodes = append(nodes, nodeWire{Node: n, Slabs: primaries[n], Health: healthByNode[n]})
+	}
+	server.WriteJSONIndent(w, http.StatusOK, topologyWire{
+		Nodes:       nodes,
+		Replication: rt.smap.Replication(),
+		Seed:        rt.cfg.Seed,
+		SlabsPerVar: rt.cfg.SlabsPerVar,
+		Vars:        rt.Vars(),
+	})
+}

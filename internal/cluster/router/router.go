@@ -1,0 +1,369 @@
+// Package router is the metadata plane of a sharded mlocd cluster: it
+// owns the shard map (consistent-hash placement of each variable's
+// storage-order row slabs onto data nodes), serves the same HTTP/JSON
+// query API as a single mlocd, and answers each query by
+// scatter-gathering sub-queries to the data nodes that own the touched
+// slabs.
+//
+// Routing happens before any fan-out: a spatial constraint is
+// intersected with the slab table, so shards a range query cannot
+// touch are pruned and never receive traffic. Robustness is built in:
+//
+//   - Per-shard timeouts bound how long one slow node can hold a query.
+//   - Hedged retries launch the same sub-query on a replica when the
+//     primary is slow; the first answer wins.
+//   - Failover walks the replica list on hard failures (connection
+//     refused, HTTP errors, corrupt payloads).
+//   - Partial results: when every replica of a shard fails, the query
+//     still answers with what the surviving shards returned, flagged
+//     "degraded": true with per-shard error detail, instead of failing
+//     outright.
+//
+// The router's /metrics is the cluster roll-up: per-node health
+// gauges, fan-out/hedge/failover/partial counters, and per-node shard
+// latency histograms, all on one obs.Registry.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"reflect"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"mloc/internal/cluster/health"
+	"mloc/internal/cluster/shardmap"
+	"mloc/internal/obs"
+	"mloc/internal/server"
+)
+
+// Config parameterizes the router.
+type Config struct {
+	// Nodes are the data-node addresses (host:port or URL). Required.
+	Nodes []string
+	// Replication is how many nodes own each slab (clamped to the node
+	// count; default 2). Owners beyond the primary serve hedges and
+	// failover.
+	Replication int
+	// SlabsPerVar is how many storage-order row slabs each variable is
+	// split into (default 4 x nodes, at least the node count).
+	SlabsPerVar int
+	// Seed feeds the shard map so placement is reproducible (default 1).
+	Seed uint64
+	// ShardTimeout bounds one shard call including all its retries
+	// (default 10s).
+	ShardTimeout time.Duration
+	// HedgeAfter launches a replica request when the primary has not
+	// answered within this duration; 0 disables hedging (default 250ms).
+	HedgeAfter time.Duration
+	// MaxMatches caps matches in merged responses (default 65536).
+	MaxMatches int
+	// MaxBodyBytes caps request bodies (default 1 MiB).
+	MaxBodyBytes int64
+	// BootstrapWait bounds how long Bootstrap retries unreachable nodes
+	// (default 30s).
+	BootstrapWait time.Duration
+	// Client issues node requests (default: a plain http.Client; the
+	// per-call context enforces ShardTimeout).
+	Client *http.Client
+	// Health, when non-nil, is consulted to skip dead nodes during
+	// planning and fed per-call outcomes. Without it every node is
+	// assumed alive until its calls fail.
+	Health *health.Checker
+	// Registry receives the cluster metrics and backs GET /metrics.
+	// New creates a private one when nil.
+	Registry *obs.Registry
+	// Tracer retains per-query fan-out traces for GET /debug/traces.
+	// New creates one with the default capacity when nil.
+	Tracer *obs.Tracer
+	// Logf receives routing log lines (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) normalize() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("router: at least one data node is required")
+	}
+	if c.Replication <= 0 {
+		c.Replication = 2
+	}
+	if c.SlabsPerVar <= 0 {
+		c.SlabsPerVar = 4 * len(c.Nodes)
+	}
+	if c.SlabsPerVar < len(c.Nodes) {
+		c.SlabsPerVar = len(c.Nodes)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ShardTimeout <= 0 {
+		c.ShardTimeout = 10 * time.Second
+	}
+	if c.HedgeAfter < 0 {
+		c.HedgeAfter = 0
+	}
+	if c.MaxMatches <= 0 {
+		c.MaxMatches = 65536
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.BootstrapWait <= 0 {
+		c.BootstrapWait = 30 * time.Second
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Tracer == nil {
+		c.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
+	return nil
+}
+
+// slab is one contiguous storage-order row range of a variable and the
+// nodes that own it.
+type slab struct {
+	lo, hi int // half-open row range on dimension 0
+	owners []string
+}
+
+// varInfo is the router's metadata for one variable.
+type varInfo struct {
+	shape []int
+	bins  int
+	mode  string
+	slabs []slab
+}
+
+// Router is the cluster's query front end. Create with New, learn the
+// topology with Bootstrap, then mount Handler.
+type Router struct {
+	cfg  Config
+	smap *shardmap.Map
+
+	// vars is written once by Bootstrap and read-only afterwards.
+	vars     map[string]*varInfo
+	varNames []string
+
+	draining atomic.Bool
+
+	queries      *obs.Counter
+	outcomes     map[string]*obs.Counter
+	fanout       *obs.Counter
+	hedges       *obs.Counter
+	failovers    *obs.Counter
+	partials     *obs.Counter
+	shardErrors  map[string]*obs.Counter
+	shardLatency map[string]*obs.Histogram
+	requests     map[string]*obs.Counter
+}
+
+// outcome classes of mloc_cluster_query_outcomes_total.
+const (
+	outcomeOK       = "ok"
+	outcomeDegraded = "degraded"
+	outcomeFailed   = "failed"
+	outcomeRejected = "rejected"
+)
+
+// New validates the configuration, builds the shard map, and registers
+// the cluster metrics. Call Bootstrap before serving.
+func New(cfg Config) (*Router, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	smap, err := shardmap.New(shardmap.Config{
+		Seed:        cfg.Seed,
+		Replication: cfg.Replication,
+	}, cfg.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{cfg: cfg, smap: smap, vars: make(map[string]*varInfo)}
+	rt.instrument()
+	return rt, nil
+}
+
+// instrument registers the cluster-level metric families.
+func (rt *Router) instrument() {
+	reg := rt.cfg.Registry
+	rt.queries = reg.Counter("mloc_cluster_queries_total",
+		"Routed query requests received (any outcome).")
+	rt.outcomes = make(map[string]*obs.Counter)
+	for _, o := range []string{outcomeOK, outcomeDegraded, outcomeFailed, outcomeRejected} {
+		rt.outcomes[o] = reg.Counter("mloc_cluster_query_outcomes_total",
+			"Routed query outcomes by class.", obs.L("outcome", o))
+	}
+	rt.fanout = reg.Counter("mloc_cluster_fanout_total",
+		"Shard sub-queries issued (excluding hedges and failover retries).")
+	rt.hedges = reg.Counter("mloc_cluster_hedges_total",
+		"Hedged sub-queries launched because a primary was slow.")
+	rt.failovers = reg.Counter("mloc_cluster_failovers_total",
+		"Sub-queries retried on a replica after a hard failure.")
+	rt.partials = reg.Counter("mloc_cluster_partial_results_total",
+		"Queries answered degraded because at least one shard failed.")
+	reg.GaugeFunc("mloc_cluster_nodes",
+		"Data nodes in the shard map.", func() float64 { return float64(len(rt.cfg.Nodes)) })
+	if rt.cfg.Health != nil {
+		reg.GaugeFunc("mloc_cluster_nodes_up",
+			"Data nodes currently passing health checks.",
+			func() float64 { return float64(rt.cfg.Health.UpCount()) })
+	}
+	reg.GaugeFunc("mloc_cluster_replication",
+		"Effective replication factor of the shard map.",
+		func() float64 { return float64(rt.smap.Replication()) })
+	rt.shardErrors = make(map[string]*obs.Counter, len(rt.cfg.Nodes))
+	rt.shardLatency = make(map[string]*obs.Histogram, len(rt.cfg.Nodes))
+	for _, n := range rt.cfg.Nodes {
+		rt.shardErrors[n] = reg.Counter("mloc_cluster_shard_errors_total",
+			"Failed shard calls by node.", obs.L("node", n))
+		rt.shardLatency[n] = reg.Histogram("mloc_cluster_shard_latency_seconds",
+			"Wall-clock shard call latency by node (successful calls).",
+			obs.DefSecondsBuckets(), obs.L("node", n))
+	}
+	rt.requests = make(map[string]*obs.Counter)
+	for _, ep := range []string{"query", "stats", "vars", "healthz", "metrics", "traces", "nodes"} {
+		rt.requests[ep] = reg.Counter("mloc_cluster_requests_total",
+			"Router HTTP requests by endpoint.", obs.L("endpoint", ep))
+	}
+}
+
+// Bootstrap learns the topology: it fetches /vars from every data node
+// (retrying unreachable ones until BootstrapWait expires), verifies all
+// nodes serve an identical variable set, and builds the slab table.
+func (rt *Router) Bootstrap(ctx context.Context) error {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.BootstrapWait)
+	defer cancel()
+	var reference []server.VarWire
+	for i, node := range rt.cfg.Nodes {
+		vars, err := rt.fetchVars(ctx, node)
+		if err != nil {
+			return fmt.Errorf("router: bootstrap %s: %w", node, err)
+		}
+		if i == 0 {
+			reference = vars
+			continue
+		}
+		if !reflect.DeepEqual(vars, reference) {
+			return fmt.Errorf("router: node %s serves %v, node %s serves %v; data nodes must be built from identical store specs",
+				node, varNamesOf(vars), rt.cfg.Nodes[0], varNamesOf(reference))
+		}
+	}
+	for _, v := range reference {
+		rt.vars[v.Var] = &varInfo{
+			shape: v.Shape,
+			bins:  v.Bins,
+			mode:  v.Mode,
+			slabs: rt.computeSlabs(v.Var, v.Shape),
+		}
+		rt.varNames = append(rt.varNames, v.Var)
+	}
+	sort.Strings(rt.varNames)
+	rt.cfg.Logf("router: bootstrapped %d vars over %d nodes (replication %d, %d slabs/var)",
+		len(rt.varNames), len(rt.cfg.Nodes), rt.smap.Replication(), rt.cfg.SlabsPerVar)
+	return nil
+}
+
+// fetchVars GETs one node's /vars, retrying while ctx lasts so a
+// router can start alongside its data nodes.
+func (rt *Router) fetchVars(ctx context.Context, node string) ([]server.VarWire, error) {
+	var lastErr error
+	for {
+		vars, err := rt.fetchVarsOnce(ctx, node)
+		if err == nil {
+			return vars, nil
+		}
+		lastErr = err
+		if serr := sleepCtx(ctx, 200*time.Millisecond); serr != nil {
+			return nil, fmt.Errorf("router: %w (last error: %v)", serr, lastErr)
+		}
+	}
+}
+
+// sleepCtx waits d or until ctx ends, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+func (rt *Router) fetchVarsOnce(ctx context.Context, node string) ([]server.VarWire, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, health.BaseURL(node)+"/vars", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- close error after the body was read is unactionable
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("router: %s /vars returned %s", node, resp.Status)
+	}
+	var vars []server.VarWire
+	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+		return nil, fmt.Errorf("router: decoding %s /vars: %w", node, err)
+	}
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("router: %s serves no variables", node)
+	}
+	return vars, nil
+}
+
+func varNamesOf(vars []server.VarWire) []string {
+	names := make([]string, len(vars))
+	for i, v := range vars {
+		names[i] = v.Var
+	}
+	return names
+}
+
+// computeSlabs splits a variable's dimension-0 extent into
+// SlabsPerVar contiguous half-open row ranges and places each on the
+// ring under the key "var/slab<i>".
+func (rt *Router) computeSlabs(name string, shape []int) []slab {
+	rows := shape[0]
+	n := rt.cfg.SlabsPerVar
+	if n > rows {
+		n = rows
+	}
+	slabs := make([]slab, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * rows / n
+		hi := (i + 1) * rows / n
+		if lo == hi {
+			continue
+		}
+		slabs = append(slabs, slab{
+			lo:     lo,
+			hi:     hi,
+			owners: rt.smap.Owners(fmt.Sprintf("%s/slab%d", name, i)),
+		})
+	}
+	return slabs
+}
+
+// SetDraining flips the draining flag; while set, new queries get 503
+// with Retry-After, matching the data-node shutdown contract.
+func (rt *Router) SetDraining(on bool) { rt.draining.Store(on) }
+
+// Registry returns the metrics registry backing /metrics.
+func (rt *Router) Registry() *obs.Registry { return rt.cfg.Registry }
+
+// Vars returns the variable names learned at bootstrap, sorted.
+func (rt *Router) Vars() []string { return append([]string(nil), rt.varNames...) }

@@ -1,0 +1,491 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"mloc/internal/cluster/fault"
+	"mloc/internal/cluster/health"
+	"mloc/internal/core"
+	"mloc/internal/datagen"
+	"mloc/internal/obs"
+	"mloc/internal/pfs"
+	"mloc/internal/server"
+)
+
+// buildStore builds one small deterministic store; the same seed yields
+// a bit-identical store on every "node".
+func buildStore(t *testing.T, seed int64) *core.Store {
+	t.Helper()
+	d := datagen.GTSLike(32, 32, seed)
+	v, err := d.Var("phi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig([]int{8, 8})
+	cfg.NumBins = 8
+	cfg.SampleSize = 256
+	fs := pfs.New(pfs.DefaultConfig())
+	st, err := core.Build(fs, pfs.NewClock(), "node/v", d.Shape, v.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// dataNode is one simulated mlocd data node: the real server package
+// behind a fault injector, exactly the composition -role=data uses.
+type dataNode struct {
+	ts   *httptest.Server
+	inj  *fault.Injector
+	addr string
+}
+
+func startDataNode(t *testing.T, stores map[string]*core.Store) *dataNode {
+	t.Helper()
+	s, err := server.New(server.Config{Stores: stores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := fault.New()
+	ts := httptest.NewServer(inj.Wrap(s.Handler()))
+	t.Cleanup(ts.Close)
+	return &dataNode{ts: ts, inj: inj, addr: strings.TrimPrefix(ts.URL, "http://")}
+}
+
+// startCluster launches n identically-built data nodes.
+func startCluster(t *testing.T, n int) []*dataNode {
+	t.Helper()
+	nodes := make([]*dataNode, n)
+	for i := range nodes {
+		nodes[i] = startDataNode(t, map[string]*core.Store{
+			"phi": buildStore(t, 1),
+			"rho": buildStore(t, 2),
+		})
+	}
+	return nodes
+}
+
+func startRouter(t *testing.T, nodes []*dataNode, mutate func(*Config)) (*Router, *httptest.Server) {
+	t.Helper()
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.addr
+	}
+	cfg := Config{
+		Nodes:         addrs,
+		SlabsPerVar:   16,
+		ShardTimeout:  5 * time.Second,
+		BootstrapWait: 5 * time.Second,
+		Logf:          t.Logf,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+func postJSON(t *testing.T, url, body string, out any) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRoutedMatchesSingleNode is the core acceptance check: for a mix
+// of query shapes, the routed scatter-gather result must be identical
+// to what one data node answers directly.
+func TestRoutedMatchesSingleNode(t *testing.T) {
+	nodes := startCluster(t, 3)
+	_, rts := startRouter(t, nodes, nil)
+
+	bodies := []string{
+		`{"var":"phi","vc":{"min":-1e30,"max":1e30}}`,
+		`{"var":"phi","vc":{"min":9.5,"max":10.5}}`,
+		`{"var":"phi","vc":{"min":-1e30,"max":1e30},"sc":{"lo":[3,5],"hi":[29,27]}}`,
+		`{"var":"rho","vc":{"min":9,"max":11},"index_only":true}`,
+		`{"var":"phi","vc":{"min":9.5,"max":10.5},"plod":2}`,
+	}
+	for _, body := range bodies {
+		var direct server.ResultWire
+		if code := postJSON(t, nodes[0].ts.URL+"/query", body, &direct); code != http.StatusOK {
+			t.Fatalf("direct query %s: status %d", body, code)
+		}
+		var routed routedWire
+		if code := postJSON(t, rts.URL+"/query", body, &routed); code != http.StatusOK {
+			t.Fatalf("routed query %s: status %d", body, code)
+		}
+		if routed.Degraded {
+			t.Fatalf("routed query %s degraded with all nodes healthy: %+v", body, routed.Shards)
+		}
+		if routed.MatchesTotal != direct.MatchesTotal || routed.Truncated != direct.Truncated {
+			t.Fatalf("routed query %s: totals %d/%v, direct %d/%v",
+				body, routed.MatchesTotal, routed.Truncated, direct.MatchesTotal, direct.Truncated)
+		}
+		if direct.MatchesTotal == 0 {
+			t.Fatalf("query %s matched nothing; test is vacuous", body)
+		}
+		if !reflect.DeepEqual(routed.Matches, direct.Matches) {
+			t.Fatalf("routed query %s: matches diverge from single node", body)
+		}
+	}
+}
+
+// TestKilledNodeYieldsDegradedPartial kills one of two replication-1
+// nodes: its shards have nowhere to fail over, so the query must come
+// back 200 with degraded:true, per-shard error detail, and the
+// surviving shards' matches.
+func TestKilledNodeYieldsDegradedPartial(t *testing.T) {
+	nodes := startCluster(t, 2)
+	rt, rts := startRouter(t, nodes, func(c *Config) { c.Replication = 1 })
+
+	var direct server.ResultWire
+	body := `{"var":"phi","vc":{"min":-1e30,"max":1e30}}`
+	if code := postJSON(t, nodes[0].ts.URL+"/query", body, &direct); code != http.StatusOK {
+		t.Fatalf("direct query status %d", code)
+	}
+
+	if err := nodes[1].inj.Set(fault.Kill, 0); err != nil {
+		t.Fatal(err)
+	}
+	var routed routedWire
+	if code := postJSON(t, rts.URL+"/query", body, &routed); code != http.StatusOK {
+		t.Fatalf("routed query status %d, want 200 partial", code)
+	}
+	if !routed.Degraded {
+		t.Fatalf("killed node did not degrade the result: %+v", routed.Shards)
+	}
+	if len(routed.Matches) == 0 || routed.MatchesTotal >= direct.MatchesTotal {
+		t.Fatalf("partial result has %d/%d matches, want nonzero and fewer than %d",
+			len(routed.Matches), routed.MatchesTotal, direct.MatchesTotal)
+	}
+	failedShards := 0
+	for _, sh := range routed.Shards {
+		if !sh.OK {
+			failedShards++
+			if sh.Error == "" || sh.Node == "" {
+				t.Fatalf("failed shard lacks error detail: %+v", sh)
+			}
+		}
+	}
+	if failedShards == 0 {
+		t.Fatal("degraded response reports no failed shards")
+	}
+	// Surviving matches must be a subset of the full answer, in order.
+	for _, m := range routed.Matches {
+		if m.Value != valueAt(direct, m.Index) {
+			t.Fatalf("partial match at %d = %v diverges from full answer", m.Index, m.Value)
+		}
+	}
+	if rt.partials.Value() == 0 {
+		t.Error("partial_results_total not incremented")
+	}
+}
+
+func valueAt(res server.ResultWire, index int64) float64 {
+	for _, m := range res.Matches {
+		if m.Index == index {
+			return m.Value
+		}
+	}
+	return -1e308
+}
+
+// TestFailoverMasksKilledNode kills one of two replication-2 nodes:
+// every shard has a surviving replica, so the answer must be complete,
+// NOT degraded, with the failover counter advanced.
+func TestFailoverMasksKilledNode(t *testing.T) {
+	nodes := startCluster(t, 2)
+	rt, rts := startRouter(t, nodes, func(c *Config) { c.Replication = 2 })
+
+	var direct server.ResultWire
+	body := `{"var":"phi","vc":{"min":-1e30,"max":1e30}}`
+	if code := postJSON(t, nodes[0].ts.URL+"/query", body, &direct); code != http.StatusOK {
+		t.Fatalf("direct query status %d", code)
+	}
+	if err := nodes[0].inj.Set(fault.Kill, 0); err != nil {
+		t.Fatal(err)
+	}
+	var routed routedWire
+	if code := postJSON(t, rts.URL+"/query", body, &routed); code != http.StatusOK {
+		t.Fatalf("routed query status %d", code)
+	}
+	if routed.Degraded {
+		t.Fatalf("replicated cluster degraded despite a surviving replica: %+v", routed.Shards)
+	}
+	if !reflect.DeepEqual(routed.Matches, direct.Matches) {
+		t.Fatal("failover answer diverges from single node")
+	}
+	if rt.failovers.Value() == 0 {
+		t.Error("failovers_total not incremented")
+	}
+}
+
+// TestHedgingFiresOnSlowNodes delays both nodes well past HedgeAfter:
+// shards hedge to their replica, the result stays complete, and the
+// hedge counter advances.
+func TestHedgingFiresOnSlowNodes(t *testing.T) {
+	nodes := startCluster(t, 2)
+	rt, rts := startRouter(t, nodes, func(c *Config) {
+		c.Replication = 2
+		c.HedgeAfter = 10 * time.Millisecond
+		c.SlabsPerVar = 4
+	})
+	for _, n := range nodes {
+		if err := n.inj.Set(fault.Delay, 150*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var routed routedWire
+	body := `{"var":"phi","vc":{"min":-1e30,"max":1e30}}`
+	if code := postJSON(t, rts.URL+"/query", body, &routed); code != http.StatusOK {
+		t.Fatalf("routed query status %d", code)
+	}
+	if routed.Degraded || routed.MatchesTotal == 0 {
+		t.Fatalf("hedged query failed: degraded=%v matches=%d", routed.Degraded, routed.MatchesTotal)
+	}
+	if rt.hedges.Value() == 0 {
+		t.Error("hedges_total not incremented")
+	}
+	hedged := false
+	for _, sh := range routed.Shards {
+		hedged = hedged || sh.Hedged
+	}
+	if !hedged {
+		t.Error("no shard reported hedged")
+	}
+}
+
+// TestCorruptPayloadDegrades corrupts one replication-1 node's
+// responses: its shards fail decode and the result degrades rather
+// than propagating damaged matches.
+func TestCorruptPayloadDegrades(t *testing.T) {
+	nodes := startCluster(t, 2)
+	_, rts := startRouter(t, nodes, func(c *Config) { c.Replication = 1 })
+	if err := nodes[0].inj.Set(fault.Corrupt, 0); err != nil {
+		t.Fatal(err)
+	}
+	var routed routedWire
+	body := `{"var":"phi","vc":{"min":-1e30,"max":1e30}}`
+	if code := postJSON(t, rts.URL+"/query", body, &routed); code != http.StatusOK {
+		t.Fatalf("routed query status %d", code)
+	}
+	if !routed.Degraded {
+		t.Fatalf("corrupt node did not degrade the result: %+v", routed.Shards)
+	}
+	found := false
+	for _, sh := range routed.Shards {
+		if !sh.OK && strings.Contains(sh.Error, "undecodable") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no shard reports a decode failure: %+v", routed.Shards)
+	}
+}
+
+// TestAllNodesDeadFails kills every node: with no shard able to
+// answer, the router must return 502, not an empty 200.
+func TestAllNodesDeadFails(t *testing.T) {
+	nodes := startCluster(t, 2)
+	rt, rts := startRouter(t, nodes, nil)
+	for _, n := range nodes {
+		if err := n.inj.Set(fault.Kill, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body := `{"var":"phi","vc":{"min":-1e30,"max":1e30}}`
+	if code := postJSON(t, rts.URL+"/query", body, nil); code != http.StatusBadGateway {
+		t.Fatalf("all-dead query status %d, want 502", code)
+	}
+	if rt.outcomes[outcomeFailed].Value() == 0 {
+		t.Error("failed outcome not counted")
+	}
+}
+
+// TestPrunedQueryAnswersEmpty sends a spatial constraint that touches
+// no rows: the router answers locally with an empty ok result and no
+// fan-out at all.
+func TestPrunedQueryAnswersEmpty(t *testing.T) {
+	nodes := startCluster(t, 2)
+	rt, rts := startRouter(t, nodes, nil)
+	var routed routedWire
+	body := `{"var":"phi","vc":{"min":-1e30,"max":1e30},"sc":{"lo":[5,0],"hi":[5,32]}}`
+	if code := postJSON(t, rts.URL+"/query", body, &routed); code != http.StatusOK {
+		t.Fatalf("pruned query status %d", code)
+	}
+	if routed.Degraded || routed.MatchesTotal != 0 || len(routed.Shards) != 0 {
+		t.Fatalf("pruned query answered %+v, want empty ok result", routed)
+	}
+	if rt.fanout.Value() != 0 {
+		t.Errorf("fanout_total = %d after a fully pruned query", rt.fanout.Value())
+	}
+}
+
+// TestRouterRejections covers the non-query outcomes: bad bodies,
+// unknown variables, and draining.
+func TestRouterRejections(t *testing.T) {
+	nodes := startCluster(t, 1)
+	rt, rts := startRouter(t, nodes, nil)
+
+	if code := postJSON(t, rts.URL+"/query", `{"var":"ghost"}`, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown var status %d, want 404", code)
+	}
+	if code := postJSON(t, rts.URL+"/query", `{nope`, nil); code != http.StatusBadRequest {
+		t.Fatalf("bad body status %d, want 400", code)
+	}
+	rt.SetDraining(true)
+	resp, err := http.Post(rts.URL+"/query", "application/json", strings.NewReader(`{"var":"phi"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining query: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if code := getJSON(t, rts.URL+"/healthz", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", code)
+	}
+	rt.SetDraining(false)
+	if code := getJSON(t, rts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz status %d, want 200", code)
+	}
+}
+
+// TestIntrospectionEndpoints exercises /vars, /stats, /cluster/nodes,
+// and a lint-clean /metrics on one router wired with a health checker.
+func TestIntrospectionEndpoints(t *testing.T) {
+	nodes := startCluster(t, 2)
+	addrs := []string{nodes[0].addr, nodes[1].addr}
+	reg := obs.NewRegistry()
+	// No probe loop is started, so nodes stay in their optimistic up
+	// state; the router still consumes the checker's snapshot.
+	hc, err := health.New(health.Config{Nodes: addrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.Instrument(reg)
+	rt, rts := startRouter(t, nodes, func(c *Config) {
+		c.Registry = reg
+		c.Health = hc
+	})
+
+	var vars []server.VarWire
+	if code := getJSON(t, rts.URL+"/vars", &vars); code != http.StatusOK {
+		t.Fatalf("/vars status %d", code)
+	}
+	if len(vars) != 2 || vars[0].Var != "phi" || vars[1].Var != "rho" {
+		t.Fatalf("/vars = %+v", vars)
+	}
+
+	var routed routedWire
+	if code := postJSON(t, rts.URL+"/query", `{"var":"phi","vc":{"min":-1e30,"max":1e30}}`, &routed); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+
+	var stats map[string]int64
+	if code := getJSON(t, rts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("/stats status %d", code)
+	}
+	if stats["queries_total"] != 1 || stats["queries_ok"] != 1 || stats["nodes"] != 2 || stats["nodes_up"] != 2 {
+		t.Fatalf("/stats = %v", stats)
+	}
+	if stats["fanout_total"] == 0 {
+		t.Fatalf("/stats fanout_total = 0 after a fanned-out query")
+	}
+
+	var topo topologyWire
+	if code := getJSON(t, rts.URL+"/cluster/nodes", &topo); code != http.StatusOK {
+		t.Fatalf("/cluster/nodes status %d", code)
+	}
+	if len(topo.Nodes) != 2 || topo.Replication != 2 || len(topo.Vars) != 2 {
+		t.Fatalf("/cluster/nodes = %+v", topo)
+	}
+	slabs := 0
+	for _, n := range topo.Nodes {
+		slabs += n.Slabs
+		if n.Health == nil || !n.Health.Up {
+			t.Fatalf("node %s missing health view: %+v", n.Node, n)
+		}
+	}
+	if want := len(rt.vars["phi"].slabs) + len(rt.vars["rho"].slabs); slabs != want {
+		t.Fatalf("primary slab counts sum to %d, want %d", slabs, want)
+	}
+
+	resp, err := http.Get(rts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := string(raw)
+	if problems := obs.Lint(payload, true); len(problems) != 0 {
+		t.Fatalf("/metrics lint problems: %v", problems)
+	}
+	for _, want := range []string{"mloc_cluster_queries_total", "mloc_cluster_node_up", "mloc_cluster_shard_latency_seconds"} {
+		if !strings.Contains(payload, want) {
+			t.Fatalf("/metrics missing family %s", want)
+		}
+	}
+
+	if code := getJSON(t, rts.URL+"/debug/traces", nil); code != http.StatusOK {
+		t.Fatalf("/debug/traces status %d", code)
+	}
+}
+
+// TestBootstrapRejectsMismatchedNodes: nodes built from different
+// store specs must fail bootstrap loudly instead of serving garbage.
+func TestBootstrapRejectsMismatchedNodes(t *testing.T) {
+	a := startDataNode(t, map[string]*core.Store{"phi": buildStore(t, 1)})
+	b := startDataNode(t, map[string]*core.Store{"phi": buildStore(t, 1), "rho": buildStore(t, 2)})
+	rt, err := New(Config{Nodes: []string{a.addr, b.addr}, BootstrapWait: 3 * time.Second, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = rt.Bootstrap(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "identical store specs") {
+		t.Fatalf("bootstrap error = %v, want store-spec mismatch", err)
+	}
+}

@@ -119,3 +119,30 @@ type Result struct {
 func (r *Result) Sort() {
 	sort.Slice(r.Matches, func(i, j int) bool { return r.Matches[i].Index < r.Matches[j].Index })
 }
+
+// MergeResults combines the partial results of shards that answered
+// disjoint pieces of one query — the gather step of a scatter-gather
+// fan-out. Matches are concatenated and re-sorted by linear index (the
+// pieces are disjoint, so this reproduces the single-store order
+// exactly), data-volume counters are summed, and the time breakdown is
+// the component-wise maximum because shards proceed concurrently: the
+// merged query completes when its slowest shard does, just as a
+// parallel query completes with its slowest rank. nil parts are
+// skipped so a caller can pass failed shards without filtering first;
+// merging zero parts yields an empty Result.
+func MergeResults(parts []*Result) *Result {
+	merged := &Result{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		merged.Matches = append(merged.Matches, p.Matches...)
+		merged.Time.MaxWith(p.Time)
+		merged.BytesRead += p.BytesRead
+		merged.BinsAccessed += p.BinsAccessed
+		merged.BlocksRead += p.BlocksRead
+		merged.CacheHits += p.CacheHits
+	}
+	merged.Sort()
+	return merged
+}

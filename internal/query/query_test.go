@@ -63,3 +63,41 @@ func TestResultSort(t *testing.T) {
 	empty := Result{}
 	empty.Sort() // must not panic
 }
+
+func TestMergeResults(t *testing.T) {
+	a := &Result{
+		Matches:      []Match{{Index: 10, Value: 1}, {Index: 2, Value: 2}},
+		Time:         Components{IO: 3, Decompress: 1, Reconstruct: 5},
+		BytesRead:    100,
+		BinsAccessed: 2,
+		BlocksRead:   4,
+		CacheHits:    1,
+	}
+	b := &Result{
+		Matches:      []Match{{Index: 7, Value: 3}},
+		Time:         Components{IO: 1, Decompress: 6, Reconstruct: 2},
+		BytesRead:    50,
+		BinsAccessed: 1,
+		BlocksRead:   2,
+		CacheHits:    3,
+	}
+	m := MergeResults([]*Result{a, nil, b})
+	if len(m.Matches) != 3 {
+		t.Fatalf("merged %d matches, want 3", len(m.Matches))
+	}
+	for i, want := range []int64{2, 7, 10} {
+		if m.Matches[i].Index != want {
+			t.Fatalf("match %d index = %d, want %d", i, m.Matches[i].Index, want)
+		}
+	}
+	if m.BytesRead != 150 || m.BinsAccessed != 3 || m.BlocksRead != 6 || m.CacheHits != 4 {
+		t.Fatalf("summed counters wrong: %+v", m)
+	}
+	// Concurrent shards: component-wise max, not sum.
+	if m.Time.IO != 3 || m.Time.Decompress != 6 || m.Time.Reconstruct != 5 {
+		t.Fatalf("merged time = %+v, want component-wise max", m.Time)
+	}
+	if empty := MergeResults(nil); len(empty.Matches) != 0 || empty.BytesRead != 0 {
+		t.Fatalf("empty merge = %+v", empty)
+	}
+}

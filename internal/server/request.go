@@ -20,28 +20,28 @@ const (
 	maxWireRanks  = 128
 )
 
-// vcWire is the JSON shape of a value constraint. Pointers distinguish
+// VCWire is the JSON shape of a value constraint. Pointers distinguish
 // "absent" from zero so a half-open request is an explicit error rather
 // than a silent [0, hi] or [lo, 0].
-type vcWire struct {
+type VCWire struct {
 	Min *float64 `json:"min"`
 	Max *float64 `json:"max"`
 }
 
-// scWire is the JSON shape of a spatial constraint (inclusive bounds
-// per dimension).
-type scWire struct {
+// SCWire is the JSON shape of a spatial constraint: half-open
+// [lo, hi) bounds per dimension, matching grid.Region.
+type SCWire struct {
 	Lo []int `json:"lo"`
 	Hi []int `json:"hi"`
 }
 
-// queryWire is the JSON request body of POST /query.
-type queryWire struct {
+// QueryWire is the JSON request body of POST /query.
+type QueryWire struct {
 	// Var names the store to query.
 	Var string `json:"var"`
 	// VC and SC are the optional value and spatial constraints.
-	VC *vcWire `json:"vc,omitempty"`
-	SC *scWire `json:"sc,omitempty"`
+	VC *VCWire `json:"vc,omitempty"`
+	SC *SCWire `json:"sc,omitempty"`
 	// PLoD requests a reduced-precision read (0 = full precision).
 	PLoD int `json:"plod,omitempty"`
 	// IndexOnly requests positions without values.
@@ -54,10 +54,10 @@ type queryWire struct {
 // deliberately strict — unknown fields, trailing data, and out-of-range
 // values are errors — so malformed clients fail loudly with a 400
 // instead of silently querying something else.
-func ParseRequest(r io.Reader) (*queryWire, error) {
+func ParseRequest(r io.Reader) (*QueryWire, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
-	var w queryWire
+	var w QueryWire
 	if err := dec.Decode(&w); err != nil {
 		return nil, fmt.Errorf("server: decoding request: %w", err)
 	}
@@ -109,7 +109,7 @@ func ParseRequest(r io.Reader) (*queryWire, error) {
 
 // ToRequest converts the wire form into an engine request against a
 // concrete grid shape, re-validating through the engine's own rules.
-func (w *queryWire) ToRequest(shape grid.Shape) (*query.Request, error) {
+func (w *QueryWire) ToRequest(shape grid.Shape) (*query.Request, error) {
 	req := &query.Request{PLoDLevel: w.PLoD, IndexOnly: w.IndexOnly}
 	if w.VC != nil {
 		req.VC = &binning.ValueConstraint{Min: *w.VC.Min, Max: *w.VC.Max}

@@ -272,41 +272,66 @@ func (s *Server) endpoint(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// matchWire is one match in a query response.
-type matchWire struct {
+// MatchWire is one match in a query response.
+type MatchWire struct {
 	Index int64   `json:"index"`
 	Value float64 `json:"value"`
 }
 
-// timeWire is the virtual-time component breakdown in a response.
-type timeWire struct {
+// TimeWire is the virtual-time component breakdown in a response.
+type TimeWire struct {
 	IO          float64 `json:"io"`
 	Decompress  float64 `json:"decompress"`
 	Reconstruct float64 `json:"reconstruct"`
 	Total       float64 `json:"total"`
 }
 
-// resultWire is the JSON response body of POST /query.
-type resultWire struct {
+// ResultWire is the JSON response body of POST /query. It is exported
+// so the cluster router can decode data-node responses and re-emit
+// merged results in exactly this shape — single-node and routed
+// queries answer with the same wire format.
+type ResultWire struct {
 	Var          string      `json:"var"`
-	Matches      []matchWire `json:"matches"`
+	Matches      []MatchWire `json:"matches"`
 	MatchesTotal int         `json:"matches_total"`
 	Truncated    bool        `json:"truncated"`
 	BinsAccessed int         `json:"bins_accessed"`
 	BlocksRead   int         `json:"blocks_read"`
 	BytesRead    int64       `json:"bytes_read"`
 	CacheHits    int         `json:"cache_hits"`
-	Time         timeWire    `json:"time"`
+	Time         TimeWire    `json:"time"`
 	QueuedMS     float64     `json:"queued_ms"`
 	// TraceID names the retained span tree for this query; fetch it at
 	// /debug/traces?id=<TraceID>.
 	TraceID uint64 `json:"trace_id,omitempty"`
 }
 
+// ToResult converts a decoded wire response back into an engine
+// result; the router uses this to merge partial shard responses with
+// query.MergeResults.
+func (r *ResultWire) ToResult() *query.Result {
+	res := &query.Result{
+		Matches: make([]query.Match, len(r.Matches)),
+		Time: query.Components{
+			IO:          r.Time.IO,
+			Decompress:  r.Time.Decompress,
+			Reconstruct: r.Time.Reconstruct,
+		},
+		BytesRead:    r.BytesRead,
+		BinsAccessed: r.BinsAccessed,
+		BlocksRead:   r.BlocksRead,
+		CacheHits:    r.CacheHits,
+	}
+	for i, m := range r.Matches {
+		res.Matches[i] = query.Match{Index: m.Index, Value: m.Value}
+	}
+	return res
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	s.queries.Inc()
@@ -314,26 +339,26 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.queriesRejected.Inc()
 		s.shed[shedDraining].Inc()
 		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		WriteError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	wire, err := ParseRequest(r.Body)
 	if err != nil {
 		s.queriesFailed.Inc()
-		writeError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	st, ok := s.cfg.Stores[wire.Var]
 	if !ok {
 		s.queriesFailed.Inc()
-		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown variable %q", wire.Var))
+		WriteError(w, http.StatusNotFound, fmt.Sprintf("unknown variable %q", wire.Var))
 		return
 	}
 	req, err := wire.ToRequest(st.Shape())
 	if err != nil {
 		s.queriesFailed.Inc()
-		writeError(w, http.StatusBadRequest, err.Error())
+		WriteError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	ranks := wire.Ranks
@@ -363,20 +388,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// bin boundary and the deferred release frees the slot now
 			// rather than after the full scan.
 			s.queriesCanceled.Inc()
-			writeError(w, http.StatusServiceUnavailable, "query canceled")
+			WriteError(w, http.StatusServiceUnavailable, "query canceled")
 			return
 		}
 		s.queriesFailed.Inc()
-		writeError(w, http.StatusInternalServerError, err.Error())
+		WriteError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	s.queriesOK.Inc()
 	root.SetInt("matches", int64(len(res.Matches)))
 	root.SetFloat("virt_total_s", res.Time.Total())
-	out := buildResult(wire.Var, res, s.cfg.MaxMatches, queued)
+	out := BuildResult(wire.Var, res, s.cfg.MaxMatches, queued)
 	out.TraceID = root.TraceID()
 	s.maybeLogSlow(wire.Var, time.Since(start), res, out.TraceID)
-	writeJSON(w, http.StatusOK, out)
+	WriteJSON(w, http.StatusOK, out)
 }
 
 // maybeLogSlow emits the slow-query log line when the wall-clock
@@ -396,30 +421,32 @@ func (s *Server) admissionFailure(w http.ResponseWriter, err error) {
 		s.queriesRejected.Inc()
 		s.shed[shedQueueFull].Inc()
 		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "query queue full")
+		WriteError(w, http.StatusTooManyRequests, "query queue full")
 	case errors.Is(err, errQueueTimeout):
 		s.queriesRejected.Inc()
 		s.shed[shedWaitExpired].Inc()
 		w.Header().Set("Retry-After", "2")
-		writeError(w, http.StatusServiceUnavailable, "no query slot within wait budget")
+		WriteError(w, http.StatusServiceUnavailable, "no query slot within wait budget")
 	default: // the caller's context ended while queued
 		s.queriesCanceled.Inc()
 		s.shed[shedClientGone].Inc()
-		writeError(w, http.StatusServiceUnavailable, "canceled while queued")
+		WriteError(w, http.StatusServiceUnavailable, "canceled while queued")
 	}
 }
 
-// buildResult converts an engine result to the wire form, capping the
-// match list.
-func buildResult(name string, res *query.Result, maxMatches int, queued time.Duration) resultWire {
-	out := resultWire{
+// BuildResult converts an engine result to the wire form, capping the
+// match list. The router calls it with the merged result of a fan-out
+// so routed responses are built by the same code path as single-node
+// ones.
+func BuildResult(name string, res *query.Result, maxMatches int, queued time.Duration) ResultWire {
+	out := ResultWire{
 		Var:          name,
 		MatchesTotal: len(res.Matches),
 		BinsAccessed: res.BinsAccessed,
 		BlocksRead:   res.BlocksRead,
 		BytesRead:    res.BytesRead,
 		CacheHits:    res.CacheHits,
-		Time: timeWire{
+		Time: TimeWire{
 			IO:          res.Time.IO,
 			Decompress:  res.Time.Decompress,
 			Reconstruct: res.Time.Reconstruct,
@@ -432,9 +459,9 @@ func buildResult(name string, res *query.Result, maxMatches int, queued time.Dur
 		n = maxMatches
 		out.Truncated = true
 	}
-	out.Matches = make([]matchWire, n)
+	out.Matches = make([]MatchWire, n)
 	for i := 0; i < n; i++ {
-		out.Matches[i] = matchWire{Index: res.Matches[i].Index, Value: res.Matches[i].Value}
+		out.Matches[i] = MatchWire{Index: res.Matches[i].Index, Value: res.Matches[i].Value}
 	}
 	return out
 }
@@ -446,7 +473,7 @@ func buildResult(name string, res *query.Result, maxMatches int, queued time.Dur
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		WriteError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	stats := map[string]int64{
@@ -475,14 +502,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		stats["cache_bytes"] = cs.Bytes
 		stats["cache_capacity"] = cs.Capacity
 	}
-	writeJSON(w, http.StatusOK, stats)
+	WriteJSON(w, http.StatusOK, stats)
 }
 
 // handleMetrics serves the registry in Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		WriteError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -498,28 +525,28 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		WriteError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	if id := r.URL.Query().Get("id"); id != "" {
 		n, err := strconv.ParseUint(id, 10, 64)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad trace id %q", id))
+			WriteError(w, http.StatusBadRequest, fmt.Sprintf("bad trace id %q", id))
 			return
 		}
 		td, ok := s.tracer.DumpByID(n)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("trace %d not retained", n))
+			WriteError(w, http.StatusNotFound, fmt.Sprintf("trace %d not retained", n))
 			return
 		}
-		writeJSONIndent(w, http.StatusOK, td)
+		WriteJSONIndent(w, http.StatusOK, td)
 		return
 	}
-	writeJSONIndent(w, http.StatusOK, s.tracer.Dump())
+	WriteJSONIndent(w, http.StatusOK, s.tracer.Dump())
 }
 
-// varWire describes one served variable in GET /vars.
-type varWire struct {
+// VarWire describes one served variable in GET /vars.
+type VarWire struct {
 	Var   string `json:"var"`
 	Shape []int  `json:"shape"`
 	Bins  int    `json:"bins"`
@@ -529,7 +556,7 @@ type varWire struct {
 func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
-		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		WriteError(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
 	names := make([]string, 0, len(s.cfg.Stores))
@@ -537,29 +564,29 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	vars := make([]varWire, 0, len(names))
+	vars := make([]VarWire, 0, len(names))
 	for _, name := range names {
 		st := s.cfg.Stores[name]
-		vars = append(vars, varWire{
+		vars = append(vars, VarWire{
 			Var:   name,
 			Shape: st.Shape(),
 			Bins:  st.NumBins(),
 			Mode:  string(st.Mode()),
 		})
 	}
-	writeJSON(w, http.StatusOK, vars)
+	WriteJSON(w, http.StatusOK, vars)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+		WriteError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// writeJSON writes v as a JSON response body.
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// WriteJSON writes v as a JSON response body.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -570,9 +597,9 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeJSONIndent is writeJSON with indentation, for the human-read
+// WriteJSONIndent is WriteJSON with indentation, for the human-read
 // trace dumps.
-func writeJSONIndent(w http.ResponseWriter, status int, v any) {
+func WriteJSONIndent(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -582,9 +609,9 @@ func writeJSONIndent(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// writeError writes a JSON error envelope.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, map[string]string{
+// WriteError writes a JSON error envelope.
+func WriteError(w http.ResponseWriter, status int, msg string) {
+	WriteJSON(w, status, map[string]string{
 		"error":  msg,
 		"status": strconv.Itoa(status),
 	})

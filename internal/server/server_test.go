@@ -52,14 +52,14 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	return s, ts
 }
 
-func postQuery(t *testing.T, ts *httptest.Server, body string) (*http.Response, resultWire) {
+func postQuery(t *testing.T, ts *httptest.Server, body string) (*http.Response, ResultWire) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { resp.Body.Close() }) //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion
-	var res resultWire
+	var res ResultWire
 	if resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
 			t.Fatalf("decoding response: %v", err)
@@ -371,7 +371,7 @@ func TestMethodsAndAuxEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- test teardown; a close error cannot fail the assertion -- test teardown; a close error cannot fail the assertion
-	var vars []varWire
+	var vars []VarWire
 	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# cluster_smoke.sh — end-to-end smoke test of the sharded cluster:
+# boot two mlocd data nodes with identical store specs plus a router
+# in front of them (replication 1 so every shard has exactly one
+# owner), check a routed query matches a direct single-node answer,
+# then kill one data node through its fault injector and assert the
+# router degrades to a partial result instead of failing. The router's
+# observability surface (/metrics + /debug/traces) is validated with
+# mloclint, the topology renders via `mlocctl cluster nodes`, and the
+# router drains gracefully on SIGTERM.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+    for pid in "${pids[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "cluster-smoke: building binaries"
+go build -o "$workdir/mlocd" ./cmd/mlocd
+go build -o "$workdir/mlocctl" ./cmd/mlocctl
+go build -o "$workdir/mloclint" ./cmd/mloclint
+
+# wait_addr LOGFILE PID — echo the daemon's listen address.
+wait_addr() {
+    local log=$1 pid=$2 addr=""
+    for _ in $(seq 1 150); do
+        addr=$(sed -n 's/^mlocd: listening on //p' "$log" | head -n1)
+        [[ -n "$addr" ]] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "cluster-smoke: daemon died during startup:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    if [[ -z "$addr" ]]; then
+        echo "cluster-smoke: daemon never reported a listen address" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    echo "$addr"
+}
+
+store_flags=(-store t=gts:64:1 -bins 16 -ranks 2)
+
+echo "cluster-smoke: booting 2 data nodes"
+"$workdir/mlocd" -addr 127.0.0.1:0 "${store_flags[@]}" >"$workdir/node1.log" 2>&1 &
+node1_pid=$!; pids+=("$node1_pid")
+"$workdir/mlocd" -addr 127.0.0.1:0 "${store_flags[@]}" >"$workdir/node2.log" 2>&1 &
+node2_pid=$!; pids+=("$node2_pid")
+node1=$(wait_addr "$workdir/node1.log" "$node1_pid")
+node2=$(wait_addr "$workdir/node2.log" "$node2_pid")
+echo "cluster-smoke: data nodes up at $node1 and $node2"
+
+echo "cluster-smoke: booting the router (replication 1)"
+"$workdir/mlocd" -role router -addr 127.0.0.1:0 \
+    -node "$node1" -node "$node2" \
+    -replication 1 -slabs-per-var 16 -hedge-after 0 \
+    -health-interval 200ms -shard-timeout 5s \
+    >"$workdir/router.log" 2>&1 &
+router_pid=$!; pids+=("$router_pid")
+router=$(wait_addr "$workdir/router.log" "$router_pid")
+echo "cluster-smoke: router up at $router"
+
+query() {
+    "$workdir/mlocctl" query -remote "$1" -var t \
+        -vc=-1e30:1e30 -sc 0:63,0:63 -ranks 2 -print 100000
+}
+
+echo "cluster-smoke: routed query vs direct single-node query"
+query "$router" >"$workdir/routed.out"
+query "$node1" >"$workdir/direct.out"
+grep 'match at' "$workdir/routed.out" >"$workdir/routed.matches"
+grep 'match at' "$workdir/direct.out" >"$workdir/direct.matches"
+if ! diff -u "$workdir/direct.matches" "$workdir/routed.matches"; then
+    echo "cluster-smoke: FAIL — routed matches diverge from a single node" >&2
+    exit 1
+fi
+if [[ ! -s "$workdir/routed.matches" ]]; then
+    echo "cluster-smoke: FAIL — routed query returned no matches" >&2
+    cat "$workdir/routed.out" >&2
+    exit 1
+fi
+if grep -q 'degraded' "$workdir/routed.out"; then
+    echo "cluster-smoke: FAIL — healthy cluster answered degraded" >&2
+    cat "$workdir/routed.out" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: topology via mlocctl cluster nodes"
+"$workdir/mlocctl" cluster nodes -remote "$router" >"$workdir/topo.out"
+if ! grep -q 'replication 1' "$workdir/topo.out"; then
+    echo "cluster-smoke: FAIL — topology missing replication factor" >&2
+    cat "$workdir/topo.out" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: killing $node2 via fault injection"
+"$workdir/mlocctl" cluster fault -remote "$node2" -mode kill
+
+echo "cluster-smoke: degraded partial result from the surviving node"
+query "$router" >"$workdir/partial.out" || {
+    echo "cluster-smoke: FAIL — query errored instead of degrading" >&2
+    cat "$workdir/partial.out" >&2
+    exit 1
+}
+if ! grep -q 'degraded: PARTIAL RESULT' "$workdir/partial.out"; then
+    echo "cluster-smoke: FAIL — killed node did not degrade the result" >&2
+    cat "$workdir/partial.out" >&2
+    exit 1
+fi
+grep 'match at' "$workdir/partial.out" >"$workdir/partial.matches" || true
+if [[ ! -s "$workdir/partial.matches" ]]; then
+    echo "cluster-smoke: FAIL — degraded result carries no surviving matches" >&2
+    cat "$workdir/partial.out" >&2
+    exit 1
+fi
+full=$(wc -l <"$workdir/routed.matches")
+part=$(wc -l <"$workdir/partial.matches")
+if [[ "$part" -ge "$full" ]]; then
+    echo "cluster-smoke: FAIL — partial result ($part matches) is not a strict subset of the full answer ($full)" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: reviving $node2 and verifying failback"
+"$workdir/mlocctl" cluster fault -remote "$node2" -mode off
+sleep 0.5  # let a health probe observe the revival
+query "$router" >"$workdir/revived.out"
+if grep -q 'degraded' "$workdir/revived.out"; then
+    echo "cluster-smoke: FAIL — revived node still degrades the result" >&2
+    cat "$workdir/revived.out" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: validating router /metrics and /debug/traces"
+if ! "$workdir/mloclint" -remote "$router"; then
+    echo "cluster-smoke: FAIL — router observability surface is malformed" >&2
+    exit 1
+fi
+"$workdir/mlocctl" stats -remote "$router" >"$workdir/stats.out"
+degraded=$(awk '$1 == "queries_degraded" {print $2}' "$workdir/stats.out")
+if [[ "${degraded:-0}" -lt 1 ]]; then
+    echo "cluster-smoke: FAIL — router stats show no degraded query" >&2
+    cat "$workdir/stats.out" >&2
+    exit 1
+fi
+
+kill -TERM "$router_pid"
+wait "$router_pid"
+if ! grep -q 'drained' "$workdir/router.log"; then
+    echo "cluster-smoke: FAIL — router did not drain gracefully on SIGTERM" >&2
+    cat "$workdir/router.log" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: OK (full=$full matches, partial=$part, degraded queries=$degraded)"
