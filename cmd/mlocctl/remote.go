@@ -41,6 +41,14 @@ func newRemoteClient(addr string) (*remoteClient, error) {
 // so a miscalibrated server cannot park the CLI for minutes.
 const maxRetryAfter = 5 * time.Second
 
+// Response decode caps, matching the router's scatter-gather bounds: a
+// result payload may be large (64 MiB), an error envelope never is
+// (1 MiB). A misbehaving or malicious server cannot OOM the CLI.
+const (
+	maxResponseBytes = 64 << 20
+	maxErrorBytes    = 1 << 20
+)
+
 // doRetry sends a request and, when the server sheds load (429 or 503)
 // with a usable Retry-After header, sleeps the hinted duration (capped
 // at maxRetryAfter) and retries exactly once. Anything else — including
@@ -95,7 +103,7 @@ func (c *remoteClient) getJSON(path string, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		return remoteError(resp)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(out)
 }
 
 // postJSON posts a payload and decodes the response into out, with the
@@ -112,7 +120,7 @@ func (c *remoteClient) postJSON(path string, payload []byte, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		return remoteError(resp)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return json.NewDecoder(io.LimitReader(resp.Body, maxResponseBytes)).Decode(out)
 }
 
 // remoteError surfaces the server's JSON error envelope.
@@ -120,7 +128,7 @@ func remoteError(resp *http.Response) error {
 	var envelope struct {
 		Error string `json:"error"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&envelope); err == nil && envelope.Error != "" {
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxErrorBytes)).Decode(&envelope); err == nil && envelope.Error != "" {
 		return fmt.Errorf("server returned %s: %s", resp.Status, envelope.Error)
 	}
 	return fmt.Errorf("server returned %s", resp.Status)
@@ -253,6 +261,12 @@ func cmdQuery(args []string) error {
 		if i >= *maxPrint {
 			fmt.Printf("  ... and %d more\n", res.MatchesTotal-*maxPrint)
 			break
+		}
+		// Coords panics on out-of-range indexes; a corrupt or hostile
+		// server must not crash the CLI.
+		if m.Index < 0 || m.Index >= shape.Elems() {
+			fmt.Printf("  match at invalid index %d (server bug?)\n", m.Index)
+			continue
 		}
 		coords := shape.Coords(m.Index, nil)
 		if *indexOnly {

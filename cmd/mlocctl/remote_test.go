@@ -287,3 +287,60 @@ func TestCmdClusterFaultAndNodes(t *testing.T) {
 		t.Error("bare cluster accepted")
 	}
 }
+
+// TestOversizedResponseBounded: getJSON caps the response body at
+// maxResponseBytes, so a misbehaving server streaming an enormous
+// payload errors cleanly instead of OOMing the CLI. Whitespace padding
+// keeps the handler cheap: the JSON decoder skips it byte by byte but
+// never buffers it.
+func TestOversizedResponseBounded(t *testing.T) {
+	pad := strings.Repeat(" ", 1<<20)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "{") //mlocvet:ignore uncheckederr -- test server write
+		for written := 0; written <= maxResponseBytes; written += len(pad) {
+			if _, err := io.WriteString(w, pad); err != nil {
+				return // client hung up after its cap; expected
+			}
+		}
+		io.WriteString(w, `"ok":true}`) //mlocvet:ignore uncheckederr -- test server write
+	}))
+	t.Cleanup(ts.Close)
+	client, err := newRemoteClient(strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := client.getJSON("/stats", &out); err == nil {
+		t.Fatal("getJSON decoded a response past maxResponseBytes without error")
+	}
+}
+
+// TestOversizedErrorEnvelopeBounded: remoteError caps the error
+// envelope at maxErrorBytes and falls back to the bare status line
+// when the truncated envelope fails to decode — the CLI must not echo
+// megabytes of attacker-controlled text either.
+func TestOversizedErrorEnvelopeBounded(t *testing.T) {
+	huge := strings.Repeat("x", 2<<20)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		io.WriteString(w, `{"error":"`+huge+`"}`) //mlocvet:ignore uncheckederr -- test server write
+	}))
+	t.Cleanup(ts.Close)
+	client, err := newRemoteClient(strings.TrimPrefix(ts.URL, "http://"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	err = client.getJSON("/stats", &out)
+	if err == nil {
+		t.Fatal("getJSON accepted a 500 response")
+	}
+	if !strings.Contains(err.Error(), "server returned") {
+		t.Fatalf("error = %v, want the server-returned status message", err)
+	}
+	if len(err.Error()) > 200 {
+		t.Fatalf("error message is %d bytes; the oversized envelope leaked through the cap", len(err.Error()))
+	}
+}

@@ -170,7 +170,9 @@ func fetch(client *http.Client, url, wantType string) ([]byte, error) {
 		return nil, err
 	}
 	defer resp.Body.Close() //mlocvet:ignore uncheckederr -- close error after the body was read is unactionable
-	body, err := io.ReadAll(resp.Body)
+	// A metrics or trace payload is bounded in practice; cap the read so
+	// a misbehaving endpoint cannot OOM the linter.
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +225,7 @@ func selfCheck() error {
 	if err != nil {
 		return err
 	}
-	if _, cerr := io.Copy(io.Discard, resp.Body); cerr != nil {
+	if _, cerr := io.Copy(io.Discard, io.LimitReader(resp.Body, 64<<20)); cerr != nil {
 		return cerr
 	}
 	if err := resp.Body.Close(); err != nil {

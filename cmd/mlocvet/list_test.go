@@ -18,8 +18,18 @@ func TestListMatchesSuite(t *testing.T) {
 	}
 	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
 	all := lint.All()
+	// The v4 suite ships twenty analyzers; a drop here means a
+	// registration was lost, not that the suite shrank on purpose.
+	if len(all) != 20 {
+		t.Fatalf("suite has %d analyzers, want 20", len(all))
+	}
 	if len(lines) != len(all) {
 		t.Fatalf("-list printed %d lines, suite has %d analyzers:\n%s", len(lines), len(all), stdout.String())
+	}
+	for _, name := range []string{"taintflow", "bodylimit", "labelcard"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing the taint analyzer %s", name)
+		}
 	}
 	for i, a := range all {
 		fields := strings.Fields(lines[i])

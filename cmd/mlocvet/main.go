@@ -14,8 +14,8 @@
 //
 // Usage:
 //
-//	mlocvet [-list] [-only names] [-json|-sarif] [-baseline file]
-//	        [-write-baseline file] [packages]
+//	mlocvet [-list] [-only names] [-skip names] [-json|-sarif]
+//	        [-baseline file] [-write-baseline file] [packages]
 //
 // Packages follow go-tool patterns (directories, with an optional
 // "..." wildcard suffix); the default is "./...". All matched packages
@@ -64,12 +64,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzer names to exclude from the run")
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array")
 	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 log")
 	baselinePath := fs.String("baseline", "", "report only findings not in this baseline `file`")
 	writeBaseline := fs.String("write-baseline", "", "snapshot current findings to `file` and exit 0")
 	fs.Usage = func() {
-		printf(stderr, "usage: mlocvet [-list] [-only names] [-json|-sarif] [-baseline file] [-write-baseline file] [packages]\n")
+		printf(stderr, "usage: mlocvet [-list] [-only names] [-skip names] [-json|-sarif] [-baseline file] [-write-baseline file] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -92,6 +93,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			analyzers = append(analyzers, a)
 		}
+	}
+	if *skip != "" {
+		skipped := make(map[string]bool)
+		for _, name := range strings.Split(*skip, ",") {
+			name = strings.TrimSpace(name)
+			if lint.ByName(name) == nil {
+				printf(stderr, "mlocvet: unknown analyzer %q (see mlocvet -list)\n", name)
+				return 2
+			}
+			skipped[name] = true
+		}
+		kept := analyzers[:0:0]
+		for _, a := range analyzers {
+			if !skipped[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		analyzers = kept
+	}
+	if len(analyzers) == 0 {
+		printf(stderr, "mlocvet: -only/-skip left no analyzers to run\n")
+		return 2
 	}
 	if *list {
 		for _, a := range analyzers {

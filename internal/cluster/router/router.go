@@ -28,6 +28,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"reflect"
@@ -316,7 +317,9 @@ func (rt *Router) fetchVarsOnce(ctx context.Context, node string) ([]server.VarW
 		return nil, fmt.Errorf("router: %s /vars returned %s", node, resp.Status)
 	}
 	var vars []server.VarWire
-	if err := json.NewDecoder(resp.Body).Decode(&vars); err != nil {
+	// A /vars listing is metadata and fits the same 1 MiB cap as error
+	// envelopes; a corrupt or hostile node must not OOM the router.
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&vars); err != nil {
 		return nil, fmt.Errorf("router: decoding %s /vars: %w", node, err)
 	}
 	if len(vars) == 0 {

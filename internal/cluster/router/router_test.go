@@ -489,3 +489,42 @@ func TestBootstrapRejectsMismatchedNodes(t *testing.T) {
 		t.Fatalf("bootstrap error = %v, want store-spec mismatch", err)
 	}
 }
+
+// TestVarsDecodeBounded: the bootstrap /vars decode is capped at 1 MiB,
+// so a corrupt or hostile node streaming an enormous listing errors
+// cleanly instead of OOMing the router.
+func TestVarsDecodeBounded(t *testing.T) {
+	// Stream a syntactically valid /vars body whose whitespace padding
+	// pushes it past the 1 MiB cap; the truncated decode must fail.
+	pad := strings.Repeat(" ", 2<<20)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, "[")                              //mlocvet:ignore uncheckederr -- test server write
+		io.WriteString(w, pad)                              //mlocvet:ignore uncheckederr -- test server write
+		io.WriteString(w, `{"var":"phi","shape":[32,32]}]`) //mlocvet:ignore uncheckederr -- test server write
+	}))
+	t.Cleanup(ts.Close)
+
+	rt := &Router{cfg: Config{Client: &http.Client{}}}
+	_, err := rt.fetchVarsOnce(context.Background(), ts.URL)
+	if err == nil {
+		t.Fatal("fetchVarsOnce decoded a >1 MiB /vars body without error")
+	}
+	if !strings.Contains(err.Error(), "decoding") {
+		t.Fatalf("fetchVarsOnce error = %v, want a decoding error from the truncated body", err)
+	}
+
+	// A listing under the cap still decodes.
+	small := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `[{"var":"phi","shape":[32,32]}]`) //mlocvet:ignore uncheckederr -- test server write
+	}))
+	t.Cleanup(small.Close)
+	vars, err := rt.fetchVarsOnce(context.Background(), small.URL)
+	if err != nil {
+		t.Fatalf("fetchVarsOnce on a small body: %v", err)
+	}
+	if len(vars) != 1 || vars[0].Var != "phi" {
+		t.Fatalf("fetchVarsOnce = %+v, want one phi entry", vars)
+	}
+}

@@ -1,0 +1,254 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mloc/internal/lint/flow"
+)
+
+// BodyLimit reports network body reads that are not length-bounded. A
+// peer — a data node answering the router, a server answering mlocctl,
+// a client posting a query — controls how many bytes Body yields, so
+// every json.NewDecoder(body), io.ReadAll(body), io.Copy(_, body), or
+// helper call receiving a body must wrap it in io.LimitReader or
+// http.MaxBytesReader first (the repository convention is 64 MiB for
+// result payloads and 1 MiB for error envelopes and metadata — see
+// internal/cluster/router/scatter.go).
+//
+// Two shapes count as bounded: wrapping inline at the read, and a
+// reassignment `r.Body = http.MaxBytesReader(w, r.Body, n)` that
+// dominates the read on every path (checked over the flow CFG).
+// Close() is exempt — closing an unread body is how bodies are
+// discarded.
+var BodyLimit = &Analyzer{
+	Name: "bodylimit",
+	Doc:  "network body reads must be bounded by io.LimitReader or http.MaxBytesReader",
+	Run:  runBodyLimit,
+}
+
+func runBodyLimit(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBodyLimit(pass, fd)
+		}
+	}
+}
+
+// bodyNodeLoc is a located CFG node: the statement that contains a
+// wrap or a read, addressable for dominance queries.
+type bodyNodeLoc struct {
+	blk *flow.Block
+	idx int
+}
+
+func checkBodyLimit(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	aliases := collectBodyAliases(info, fd.Body)
+
+	// Wraps: r.Body = http.MaxBytesReader(...) / io.LimitReader(...),
+	// keyed by the base object (r) they rebind.
+	type wrap struct {
+		base types.Object
+		loc  bodyNodeLoc
+		ok   bool
+	}
+	var (
+		wraps []wrap
+		g     *flow.Graph
+		doms  map[*flow.Block]map[*flow.Block]bool
+	)
+	lazyGraph := func() *flow.Graph {
+		if g == nil {
+			g = flow.BuildCFG(fd.Body)
+			doms = flow.Dominators(g)
+		}
+		return g
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		base, isBody := bodyExprBase(info, as.Lhs[0], aliases)
+		if !isBody || base == nil {
+			return true
+		}
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok && isBoundingCall(info, call) {
+			loc, found := locateNode(lazyGraph(), as)
+			wraps = append(wraps, wrap{base: base, loc: loc, ok: found})
+		}
+		return true
+	})
+
+	dominatedByWrap := func(base types.Object, at ast.Node) bool {
+		if base == nil || len(wraps) == 0 {
+			return false
+		}
+		loc, found := locateNode(lazyGraph(), at)
+		if !found {
+			return false
+		}
+		for _, w := range wraps {
+			if w.base != base || !w.ok {
+				continue
+			}
+			if w.loc.blk == loc.blk {
+				if w.loc.idx < loc.idx {
+					return true
+				}
+				continue
+			}
+			if doms[loc.blk][w.loc.blk] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Reads: a body expression passed as an argument to any call other
+	// than the bounding wrappers themselves.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isBoundingCall(info, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			base, isBody := bodyExprBase(info, arg, aliases)
+			if !isBody {
+				continue
+			}
+			if dominatedByWrap(base, call) {
+				continue
+			}
+			pass.Reportf(arg.Pos(), "unbounded read of %s; wrap it in io.LimitReader or http.MaxBytesReader", renderExpr(pass.Pkg, arg))
+		}
+		return true
+	})
+}
+
+// collectBodyAliases finds `body := resp.Body` bindings so the alias
+// identifier counts as a body expression at its uses.
+func collectBodyAliases(info *types.Info, body *ast.BlockStmt) map[types.Object]types.Object {
+	aliases := make(map[types.Object]types.Object)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			base, isBody := bodyExprBase(info, rhs, nil)
+			if !isBody {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if obj := info.Defs[id]; obj != nil {
+				aliases[obj] = base
+			}
+		}
+		return true
+	})
+	return aliases
+}
+
+// bodyExprBase reports whether e reads an http body — a `x.Body`
+// selector on an http.Request/Response, or an alias bound from one —
+// and returns the base object (the request/response variable) when it
+// is a simple identifier.
+func bodyExprBase(info *types.Info, e ast.Expr, aliases map[types.Object]types.Object) (types.Object, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if e.Sel.Name != "Body" {
+			return nil, false
+		}
+		tv, ok := info.Types[e.X]
+		if !ok || tv.Type == nil {
+			return nil, false
+		}
+		switch namedTypeName(tv.Type) {
+		case "net/http.Request", "net/http.Response":
+		default:
+			return nil, false
+		}
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return info.Uses[id], true
+		}
+		return nil, true
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			if base, ok := aliases[obj]; ok {
+				return base, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// isBoundingCall reports whether call is io.LimitReader or
+// http.MaxBytesReader — the two sanctioned bounding wrappers.
+func isBoundingCall(info *types.Info, call *ast.CallExpr) bool {
+	callee := flow.CalleeOf(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return false
+	}
+	switch callee.Pkg().Path() + "." + callee.Name() {
+	case "io.LimitReader", "net/http.MaxBytesReader":
+		return true
+	}
+	return false
+}
+
+// namedTypeName renders a (possibly pointer) named type as
+// pkgpath.Name, or "".
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// locateNode finds the CFG node containing n's position.
+func locateNode(g *flow.Graph, n ast.Node) (bodyNodeLoc, bool) {
+	pos := n.Pos()
+	for _, b := range g.Blocks {
+		for i, node := range b.Nodes {
+			if node.Pos() <= pos && pos <= node.End() {
+				return bodyNodeLoc{blk: b, idx: i}, true
+			}
+		}
+	}
+	return bodyNodeLoc{}, false
+}
+
+// renderExpr pretty-prints a short expression for diagnostics.
+func renderExpr(pkg *Package, e ast.Expr) string {
+	var sb strings.Builder
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			sb.WriteString(id.Name)
+			sb.WriteString(".")
+			sb.WriteString(e.Sel.Name)
+			return sb.String()
+		}
+		return "…." + e.Sel.Name
+	}
+	return "body"
+}

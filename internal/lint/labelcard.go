@@ -1,0 +1,34 @@
+package lint
+
+import (
+	"mloc/internal/lint/flow"
+)
+
+// LabelCard reports metric label values and metric names derived from
+// untrusted input. Every distinct label value materializes a new time
+// series in the obs registry (and in any scraping Prometheus), so an
+// attacker-chosen label — a query variable name, a header, a peer
+// node's JSON — is an unbounded-cardinality memory leak. Labels must
+// come from a finite set: literals, config, or a vetted roster.
+//
+// The check shares the interprocedural taint summaries with taintflow
+// and claims the metric-label sink kind: obs.L value arguments and the
+// name argument of Registry.Counter/Gauge/Histogram and friends.
+var LabelCard = &Analyzer{
+	Name:       "labelcard",
+	Doc:        "metric labels and names must come from a finite set, never from untrusted input",
+	RunProgram: runLabelCard,
+}
+
+func runLabelCard(pass *ProgramPass) {
+	for _, f := range pass.TaintFacts().Findings() {
+		if f.Kind != flow.SinkLabel {
+			continue
+		}
+		if f.Path != "" {
+			pass.Reportf(f.Pos, "metric label or name %s derives from untrusted input (via %s); label cardinality must be finite", f.Expr, f.Path)
+			continue
+		}
+		pass.Reportf(f.Pos, "metric label or name %s derives from untrusted input; label cardinality must be finite", f.Expr)
+	}
+}

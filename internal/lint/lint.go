@@ -47,6 +47,19 @@
 //   - ignorereason: //mlocvet:ignore directives must carry a
 //     "-- reason" explaining the suppression
 //
+// The taint generation (built on internal/lint/flow's interprocedural
+// taint summaries over the call graph and CFG) guards the cluster
+// trust boundary — HTTP request data, JSON decoded from peer nodes,
+// and wire bytes are all attacker-controlled:
+//
+//   - taintflow: untrusted values must not reach allocation sizes,
+//     loop bounds, indexes, or sleep durations — across function
+//     calls — without a dominating bounds check
+//   - bodylimit: every network body read must be length-bounded by
+//     io.LimitReader or http.MaxBytesReader
+//   - labelcard: metric label values and metric names must come from
+//     a finite set, never from untrusted strings
+//
 // The package deliberately depends only on the standard library
 // (go/ast, go/parser, go/token, go/types) so the module keeps its
 // zero-dependency go.mod.
@@ -133,9 +146,10 @@ type ProgramPass struct {
 	// Flow is the shared call graph and lock facts over Pkgs.
 	Flow *flow.Program
 	fset *token.FileSet
-	// lockFacts is built lazily, once, on first use.
-	lockFacts *flow.LockFacts
-	diags     *[]Diagnostic
+	// lockFacts and taintFacts are built lazily, once, on first use.
+	lockFacts  *flow.LockFacts
+	taintFacts *flow.Taint
+	diags      *[]Diagnostic
 }
 
 // Reportf records a finding at pos.
@@ -154,6 +168,16 @@ func (p *ProgramPass) LockFacts() *flow.LockFacts {
 		p.lockFacts = flow.BuildLockFacts(p.Flow)
 	}
 	return p.lockFacts
+}
+
+// TaintFacts returns the program's interprocedural taint summaries,
+// building them on first use and sharing them between the taint
+// analyzers of one run.
+func (p *ProgramPass) TaintFacts() *flow.Taint {
+	if p.taintFacts == nil {
+		p.taintFacts = flow.BuildTaint(p.Flow)
+	}
+	return p.taintFacts
 }
 
 // FlowPackage adapts a loaded package to flow's package view.
@@ -187,6 +211,9 @@ func All() []*Analyzer {
 		ClosePath,
 		ClockCharge,
 		IgnoreReason,
+		TaintFlow,
+		BodyLimit,
+		LabelCard,
 	}
 }
 
@@ -223,6 +250,7 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	}
 	var prog *flow.Program
 	var facts *flow.LockFacts
+	var taint *flow.Taint
 	for _, a := range analyzers {
 		if a.RunProgram == nil {
 			continue
@@ -235,15 +263,17 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			prog = flow.BuildProgram(infos)
 		}
 		pp := &ProgramPass{
-			Analyzer:  a,
-			Pkgs:      pkgs,
-			Flow:      prog,
-			fset:      fsetOf(pkgs),
-			lockFacts: facts,
-			diags:     &diags,
+			Analyzer:   a,
+			Pkgs:       pkgs,
+			Flow:       prog,
+			fset:       fsetOf(pkgs),
+			lockFacts:  facts,
+			taintFacts: taint,
+			diags:      &diags,
 		}
 		a.RunProgram(pp)
 		facts = pp.lockFacts // share across program analyzers
+		taint = pp.taintFacts
 	}
 	for _, pkg := range pkgs {
 		diags = filterIgnored(pkg, diags)

@@ -109,6 +109,9 @@ func TestAnalyzersGolden(t *testing.T) {
 		{ClosePath, "closepath"},
 		{ClockCharge, "clockcharge/internal/pfs"}, // scoped: analyzer only fires on internal/pfs, internal/core paths
 		{IgnoreReason, "ignorereason"},
+		{TaintFlow, "taintflow"},
+		{BodyLimit, "bodylimit"},
+		{LabelCard, "labelcard"},
 	}
 	for _, tc := range cases {
 		name := tc.analyzer.Name + "/" + strings.ReplaceAll(tc.fixture, "/", "_")
@@ -139,6 +142,9 @@ func TestGoldenTruePositives(t *testing.T) {
 		ClosePath.Name:     "closepath",
 		ClockCharge.Name:   "clockcharge/internal/pfs",
 		IgnoreReason.Name:  "ignorereason",
+		TaintFlow.Name:     "taintflow",
+		BodyLimit.Name:     "bodylimit",
+		LabelCard.Name:     "labelcard",
 	}
 	if len(fixtures) != len(All()) {
 		t.Fatalf("fixture map covers %d analyzers, suite has %d", len(fixtures), len(All()))

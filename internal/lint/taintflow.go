@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"mloc/internal/lint/flow"
+)
+
+// TaintFlow reports untrusted values — HTTP request data, JSON decoded
+// from peer node responses, varint-decoded wire bytes — reaching
+// allocation sizes, slice bounds, indexes, loop bounds, or sleep
+// durations without a dominating bounds check, across function calls.
+//
+// The check rides on internal/lint/flow's interprocedural taint
+// summaries: a callee that bounds-checks before returning yields clean
+// results (sanitizers compose through the call graph), while a callee
+// whose parameter reaches a sink unguarded surfaces that sink at every
+// tainted call site, with the call path in the message. Metric-label
+// sinks are reported by the labelcard analyzer instead.
+var TaintFlow = &Analyzer{
+	Name:       "taintflow",
+	Doc:        "untrusted values must not reach allocations, loop bounds, indexes, or timeouts without a bounds check",
+	RunProgram: runTaintFlow,
+}
+
+func runTaintFlow(pass *ProgramPass) {
+	for _, f := range pass.TaintFacts().Findings() {
+		if f.Kind == flow.SinkLabel {
+			continue // labelcard owns metric-label sinks
+		}
+		if f.Path != "" {
+			pass.Reportf(f.Pos, "untrusted value %s reaches %s without a bounds check (via %s)", f.Expr, f.Kind, f.Path)
+			continue
+		}
+		pass.Reportf(f.Pos, "untrusted value %s reaches %s without a bounds check", f.Expr, f.Kind)
+	}
+}

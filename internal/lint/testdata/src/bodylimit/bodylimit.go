@@ -1,0 +1,73 @@
+// Package bodylimit is a mlocvet fixture where network bodies are read
+// with and without length bounds. The peer controls how many bytes
+// Body yields, so unbounded reads are an OOM a remote can trigger.
+package bodylimit
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+func decodeUnbounded(resp *http.Response) error {
+	var v []string
+	return json.NewDecoder(resp.Body).Decode(&v) // want `unbounded read of resp.Body; wrap it in io.LimitReader or http.MaxBytesReader`
+}
+
+func decodeBounded(resp *http.Response) error {
+	var v []string
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v)
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	return io.ReadAll(resp.Body) // want `unbounded read of resp.Body`
+}
+
+func drain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body) // want `unbounded read of resp.Body`
+}
+
+func drainBounded(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+}
+
+// wrapped rebinds the body through http.MaxBytesReader before any
+// read; the rebind dominates the decode, so it is clean.
+func wrapped(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var v map[string]int
+	_ = json.NewDecoder(r.Body).Decode(&v)
+}
+
+// wrapOneBranch rebinds only when big is set; the read is reachable
+// with the raw body, so the wrap does not dominate it.
+func wrapOneBranch(w http.ResponseWriter, r *http.Request, big bool) {
+	if big {
+		r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	}
+	_, _ = io.ReadAll(r.Body) // want `unbounded read of r.Body`
+}
+
+func aliased(resp *http.Response) ([]byte, error) {
+	body := resp.Body
+	return io.ReadAll(body) // want `unbounded read of body`
+}
+
+// helperPass hands the raw body to a helper — the bytes still get read
+// somewhere, so the bound must be applied before the body escapes.
+func helperPass(resp *http.Response) error {
+	return parse(resp.Body) // want `unbounded read of resp.Body`
+}
+
+func parse(rd io.Reader) error {
+	var v []int
+	return json.NewDecoder(rd).Decode(&v)
+}
+
+func closeOnly(resp *http.Response) {
+	_ = resp.Body.Close()
+}
+
+func suppressedDrain(resp *http.Response) {
+	_, _ = io.Copy(io.Discard, resp.Body) //mlocvet:ignore bodylimit -- fixture: in-process test server with a trusted fixed-size payload
+}

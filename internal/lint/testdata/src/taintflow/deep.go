@@ -1,0 +1,34 @@
+package taintflow
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// clampDeep bounds its input — the sanitizer of the three-hop chain.
+func clampDeep(n int) int {
+	if n > 256 {
+		return 256
+	}
+	return n
+}
+
+// viaMiddle forwards to clampDeep; its result summary is clean because
+// clampDeep's is.
+func viaMiddle(n int) int { return clampDeep(n) }
+
+// deepHandler proves summaries compose: the sanitizer lives two calls
+// below the source, and the allocation stays clean.
+func deepHandler(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	return make([]byte, viaMiddle(n))
+}
+
+// midAlloc forwards to the sink without sanitizing, so the finding
+// carries the two-hop call path.
+func midAlloc(n int) []byte { return sizedAlloc(n) }
+
+func twoHopHandler(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	return midAlloc(n) // want `untrusted value n reaches make size without a bounds check \(via midAlloc -> sizedAlloc\)`
+}

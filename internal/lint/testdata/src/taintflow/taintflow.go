@@ -1,0 +1,88 @@
+// Package taintflow is a mlocvet fixture where untrusted values —
+// HTTP request data, decoded peer responses, varint-decoded wire
+// bytes — cross function calls before reaching allocation sizes, loop
+// bounds, indexes, and timeouts.
+package taintflow
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// sizedAlloc owns the sink; the untrusted count arrives one call
+// above, so the finding names the call path.
+func sizedAlloc(n int) []byte {
+	return make([]byte, n)
+}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	_ = sizedAlloc(n) // want `untrusted value n reaches make size without a bounds check \(via sizedAlloc\)`
+}
+
+func boundedHandler(w http.ResponseWriter, r *http.Request) {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	if n > 1024 {
+		n = 1024
+	}
+	_ = sizedAlloc(n) // bounded above: clean
+}
+
+// pathSensitive guards only the fast path; the union-meet at the join
+// keeps the unguarded path's taint alive.
+func pathSensitive(w http.ResponseWriter, r *http.Request, fast bool) []byte {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	if fast {
+		if n > 64 {
+			return nil
+		}
+	}
+	return make([]byte, n) // want `untrusted value n reaches make size without a bounds check`
+}
+
+func loopBound(r *http.Request) int {
+	iters, _ := strconv.Atoi(r.Header.Get("X-Iters"))
+	total := 0
+	for i := 0; i < iters; i++ { // want `untrusted value iters reaches loop bound without a bounds check`
+		total += i
+	}
+	return total
+}
+
+func sleepSink(r *http.Request) {
+	secs, _ := strconv.Atoi(r.Header.Get("Retry-After"))
+	time.Sleep(time.Duration(secs) * time.Second) // want `untrusted value time.Duration\(secs\) \* time.Second reaches sleep/timeout duration`
+}
+
+func sleepClamped(r *http.Request) {
+	secs, _ := strconv.Atoi(r.Header.Get("Retry-After"))
+	d := time.Duration(secs) * time.Second
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	time.Sleep(d) // clamped: clean
+}
+
+func indexSink(r *http.Request, table []string) string {
+	i, _ := strconv.Atoi(r.FormValue("i"))
+	return table[i] // want `untrusted value i reaches index without a bounds check`
+}
+
+func decodePeer(resp *http.Response) []int {
+	var counts []int
+	_ = json.NewDecoder(resp.Body).Decode(&counts)
+	return make([]int, counts[0]) // want `untrusted value counts\[0\] reaches make size without a bounds check`
+}
+
+func wireAlloc(data []byte) []byte {
+	n, _ := binary.Uvarint(data)
+	return sizedAlloc(int(n)) // want `untrusted value int\(n\) reaches make size without a bounds check \(via sizedAlloc\)`
+}
+
+func suppressed(r *http.Request) []byte {
+	n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+	return make([]byte, n) //mlocvet:ignore taintflow -- fixture: the gateway in front of this handler enforces the size cap
+}
