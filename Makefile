@@ -7,7 +7,7 @@ FUZZTIME ?= 10s
 RACE_PKGS = ./internal/mpi ./internal/core ./internal/stage ./internal/cache ./internal/server ./internal/obs \
 	./internal/cluster/shardmap ./internal/cluster/health ./internal/cluster/fault ./internal/cluster/router
 
-.PHONY: build test vet vet-fast mlocvet mlocvet-baseline race bench-json fuzz-short fuzz-list fuzz-list-check serve-smoke cluster-smoke obslint check
+.PHONY: build test vet vet-fast mlocvet mlocvet-baseline race bench-json bench-query fuzz-short fuzz-list fuzz-list-check serve-smoke cluster-smoke obslint check
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,13 @@ race:
 ## artifact). BENCHTIME=10x stabilizes the numbers on noisy hosts.
 bench-json:
 	./scripts/bench_json.sh
+
+## bench-query: run the flat-vs-hierarchical query-latency matrix and
+## regenerate BENCH_query.json (the committed query-latency
+## trajectory; the benchmark itself fails past 2x the committed
+## virtual latency, so running it doubles as the regression gate).
+bench-query:
+	./scripts/bench_json.sh query
 
 ## fuzz-short: run every fuzz target briefly (~$(FUZZTIME) each). The
 ## target inventory lives in scripts/fuzz_targets.txt (regenerate with

@@ -9,11 +9,18 @@ package mloc
 // reported metrics and the tables printed by cmd/benchtables.
 
 import (
+	"encoding/json"
+	"os"
 	"strconv"
 	"strings"
 	"testing"
 
+	"mloc/internal/binning"
+	"mloc/internal/core"
+	"mloc/internal/datagen"
 	"mloc/internal/experiments"
+	"mloc/internal/pfs"
+	"mloc/internal/query"
 )
 
 // benchParams keeps per-iteration cost bounded: 2 random queries per
@@ -256,5 +263,116 @@ func BenchmarkAblationFileOrg(b *testing.B) {
 		}
 		report(b, tab, "100 bins", "Opens/query", "opens")
 		report(b, tab, "1 bin", "Opens/query", "opens")
+	}
+}
+
+// queryLatencyBaseline loads the committed BENCH_query.json checkpoint:
+// a map from "index/codec/sel" to the recorded virtual-clock latency.
+// Empty when the file is absent (first recording run).
+func queryLatencyBaseline() map[string]float64 {
+	data, err := os.ReadFile("BENCH_query.json")
+	if err != nil {
+		return nil
+	}
+	var doc struct {
+		QueryLatency []struct {
+			Index   string  `json:"index"`
+			Codec   string  `json:"codec"`
+			Sel     string  `json:"sel"`
+			VirtSOp float64 `json:"virt_s_op"`
+		} `json:"query_latency"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil
+	}
+	out := make(map[string]float64, len(doc.QueryLatency))
+	for _, r := range doc.QueryLatency {
+		out[r.Index+"/"+r.Codec+"/"+r.Sel] = r.VirtSOp
+	}
+	return out
+}
+
+// BenchmarkQueryLatency is the committed query-latency trajectory:
+// flat vs hierarchical index across VC selectivities and codecs, on
+// index-only range queries over a 256x256 GTS field with 256 bins.
+// The headline metric is virt-s/op — the virtual-clock latency of the
+// slowest rank, deterministic across hosts — which
+// scripts/bench_json.sh distills into BENCH_query.json. The committed
+// checkpoint doubles as a regression gate: a run whose virtual latency
+// exceeds 2x the recorded value fails, mirroring the vet_repo budget
+// in BENCH_build.json.
+func BenchmarkQueryLatency(b *testing.B) {
+	const side, bins, ranks = 256, 1024, 4
+	d := datagen.GTSLike(side, side, 11)
+	v, _ := d.Var("phi")
+	data, shape := v.Data, d.Shape
+
+	codecs := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"planes", core.DefaultConfig([]int{16, 16})},
+		{"isobar", core.ISOConfig([]int{16, 16})},
+	}
+	sels := []struct {
+		name string
+		frac float64
+	}{
+		{"sel=1%", 0.01},
+		{"sel=10%", 0.10},
+		{"sel=50%", 0.50},
+	}
+	baseline := queryLatencyBaseline()
+
+	for _, c := range codecs {
+		cfg := c.cfg
+		cfg.NumBins = bins
+		cfg.SampleSize = 1 << 16
+		fs := pfs.New(pfs.DefaultConfig())
+		flat, err := core.Build(fs, pfs.NewClock(), "bq/"+c.name+"/flat", shape, data, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hcfg := cfg
+		hcfg.HierarchicalIndex = true
+		hier, err := core.Build(fs, pfs.NewClock(), "bq/"+c.name+"/hier", shape, data, hcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stores := []struct {
+			name string
+			st   *core.Store
+		}{{"flat", flat}, {"hier", hier}}
+		for _, s := range stores {
+			for _, sel := range sels {
+				lo, hi := datagen.Selectivity(data, sel.frac, 17, 4096)
+				req := &query.Request{
+					VC:        &binning.ValueConstraint{Min: lo, Max: hi},
+					IndexOnly: true,
+				}
+				b.Run(s.name+"/"+c.name+"/"+sel.name, func(b *testing.B) {
+					b.ReportAllocs()
+					var virt float64
+					var pruned, covered int
+					for i := 0; i < b.N; i++ {
+						res, err := s.st.Query(req, ranks)
+						if err != nil {
+							b.Fatal(err)
+						}
+						virt += res.Time.Total()
+						pruned, covered = res.BinsPruned, res.BinsCovered
+					}
+					virtOp := virt / float64(b.N)
+					b.ReportMetric(virtOp, "virt-s/op")
+					b.ReportMetric(float64(pruned), "bins-pruned/op")
+					b.ReportMetric(float64(covered), "bins-covered/op")
+					key := s.name + "/" + c.name + "/" + sel.name
+					if base, ok := baseline[key]; ok && base > 0 && virtOp > 2*base {
+						b.Fatalf("virtual latency %.6fs exceeds 2x the committed %.6fs (BENCH_query.json %s)",
+							virtOp, base, key)
+					}
+				})
+			}
+		}
 	}
 }

@@ -150,6 +150,8 @@ func cmdRun(args []string) error {
 	scStr := fs.String("sc", "", "spatial constraint a:b,c:d per dimension (half-open)")
 	plod := fs.Int("plod", 0, "PLoD level 1-7 (0 = full precision)")
 	indexOnly := fs.Bool("index-only", false, "return positions only")
+	hindex := fs.Bool("hindex", true, "build the hierarchical super-bin index")
+	adaptive := fs.Bool("adaptive", false, "adaptively re-split bins from the sample")
 	explain := fs.Bool("explain", false, "print the query plan before executing")
 	ranks := fs.Int("ranks", 8, "parallel ranks")
 	maxPrint := fs.Int("print", 5, "matches to print")
@@ -221,6 +223,8 @@ func cmdRun(args []string) error {
 		return fmt.Errorf("run: unknown mode %q", *mode)
 	}
 	cfg.NumBins = *bins
+	cfg.HierarchicalIndex = *hindex
+	cfg.AdaptiveBins = *adaptive
 	order, err := core.ParseOrder(*orderStr)
 	if err != nil {
 		return err

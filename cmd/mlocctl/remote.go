@@ -210,13 +210,16 @@ func cmdQuery(args []string) error {
 			Index int64   `json:"index"`
 			Value float64 `json:"value"`
 		} `json:"matches"`
-		MatchesTotal int   `json:"matches_total"`
-		Truncated    bool  `json:"truncated"`
-		BinsAccessed int   `json:"bins_accessed"`
-		BlocksRead   int   `json:"blocks_read"`
-		BytesRead    int64 `json:"bytes_read"`
-		CacheHits    int   `json:"cache_hits"`
-		Time         struct {
+		MatchesTotal   int   `json:"matches_total"`
+		Truncated      bool  `json:"truncated"`
+		BinsAccessed   int   `json:"bins_accessed"`
+		BlocksRead     int   `json:"blocks_read"`
+		BytesRead      int64 `json:"bytes_read"`
+		CacheHits      int   `json:"cache_hits"`
+		BinsPruned     int   `json:"bins_pruned"`
+		BinsCovered    int   `json:"bins_covered"`
+		IndexNodesRead int   `json:"index_nodes_read"`
+		Time           struct {
 			IO          float64 `json:"io"`
 			Decompress  float64 `json:"decompress"`
 			Reconstruct float64 `json:"reconstruct"`
@@ -243,6 +246,10 @@ func cmdQuery(args []string) error {
 	}
 	fmt.Printf("query: %d matches, %d bins touched, %d blocks read, %.2f MB read, %d cache hits\n",
 		res.MatchesTotal, res.BinsAccessed, res.BlocksRead, float64(res.BytesRead)/1e6, res.CacheHits)
+	if res.BinsPruned > 0 || res.BinsCovered > 0 {
+		fmt.Printf("  pruning: %d bins pruned, %d covered via %d index nodes\n",
+			res.BinsPruned, res.BinsCovered, res.IndexNodesRead)
+	}
 	if res.Degraded {
 		fmt.Printf("  degraded: PARTIAL RESULT — some shards failed:\n")
 		for _, sh := range res.Shards {

@@ -98,6 +98,7 @@ func run(args []string) error {
 	bins := fs.Int("bins", 100, "equal-frequency bins per store")
 	mode := fs.String("mode", "col", "MLOC variant: col | iso | isa")
 	orderStr := fs.String("order", "V-M-S", "level order: V-M-S or V-S-M")
+	hindex := fs.Bool("hindex", true, "build the hierarchical super-bin index per store")
 	ranks := fs.Int("ranks", 4, "default parallel ranks per query")
 	maxConcurrent := fs.Int("max-concurrent", 8, "max simultaneously executing queries")
 	maxQueue := fs.Int("max-queue", 0, "max queued queries (default 2x max-concurrent)")
@@ -148,6 +149,9 @@ func run(args []string) error {
 	}
 
 	cfgTemplate, err := storeConfig(*mode, *chunkStr, *bins, *orderStr)
+	if err == nil {
+		cfgTemplate.HierarchicalIndex = *hindex
+	}
 	if err != nil {
 		return err
 	}

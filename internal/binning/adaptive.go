@@ -1,0 +1,185 @@
+package binning
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// AdaptOptions bounds the sample-driven re-balancing pass.
+type AdaptOptions struct {
+	// MaxBins caps the bin count after splitting (default 2× current).
+	MaxBins int
+	// MinBins floors the bin count after merging (default 1).
+	MinBins int
+	// SplitThreshold marks a leaf hot when its sample count exceeds
+	// SplitThreshold × the mean per-bin count (default 2).
+	SplitThreshold float64
+	// MergeThreshold merges an adjacent run while its combined count
+	// stays below MergeThreshold × the mean (default 0.5).
+	MergeThreshold float64
+}
+
+// AdaptStats reports what a re-balancing pass did.
+type AdaptStats struct {
+	BinsBefore, BinsAfter int
+	// Split is the number of hot leaves split; Merged is the number of
+	// bins removed by merging cold runs.
+	Split, Merged int
+	// ImbalanceBefore/After are the sample's max/mean occupancy ratios
+	// under the old and new boundaries.
+	ImbalanceBefore, ImbalanceAfter float64
+}
+
+// Adapt re-balances the scheme against a fresh sample: hot leaves
+// (skewed data piling into few bins) split at in-bin sample quantiles,
+// and runs of cold adjacent leaves merge, keeping the super-bin tree
+// balanced under drifting or skewed distributions. The outer bounds are
+// preserved exactly, so the adapted scheme covers the same value range
+// and every stored value keeps a bin. NaN sample values are ignored
+// (they carry no ordering information); an all-NaN or empty sample is
+// an error. The pass is deterministic for a given sample.
+func (s *Scheme) Adapt(sample []float64, opt AdaptOptions) (*Scheme, AdaptStats, error) {
+	sorted := make([]float64, 0, len(sample))
+	for _, v := range sample {
+		if !math.IsNaN(v) {
+			sorted = append(sorted, v)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil, AdaptStats{}, fmt.Errorf("binning: adapt needs a non-NaN sample")
+	}
+	sort.Float64s(sorted)
+	if opt.SplitThreshold <= 0 {
+		opt.SplitThreshold = 2
+	}
+	if opt.MergeThreshold <= 0 {
+		opt.MergeThreshold = 0.5
+	}
+	if opt.MaxBins <= 0 {
+		opt.MaxBins = 2 * s.NumBins()
+	}
+	if opt.MinBins <= 0 {
+		opt.MinBins = 1
+	}
+
+	stats := AdaptStats{BinsBefore: s.NumBins(), ImbalanceBefore: s.ImbalanceRatio(sorted)}
+
+	// Split pass: walk the leaves with their sample occupancy and cut
+	// hot ones at in-bin quantiles. Occupancy comes from the sorted
+	// sample by boundary search, so the pass is O(n log n) overall.
+	counts := s.histogramSorted(sorted)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	mean := float64(total) / float64(s.NumBins())
+	bounds := make([]float64, 0, s.NumBins()+1)
+	newCounts := make([]int, 0, s.NumBins())
+	bounds = append(bounds, s.bounds[0])
+	budget := opt.MaxBins - s.NumBins()
+	for i := 0; i < s.NumBins(); i++ {
+		lo, hi := s.bounds[i], s.bounds[i+1]
+		c := counts[i]
+		parts := 1
+		if float64(c) > opt.SplitThreshold*mean && budget > 0 && mean > 0 {
+			parts = int(math.Ceil(float64(c) / mean))
+			if parts-1 > budget {
+				parts = budget + 1
+			}
+		}
+		inBin := binSample(sorted, lo, hi, i == s.NumBins()-1)
+		if len(inBin) < 2 {
+			// Bin 0 can be hot purely from below-range clamped values
+			// that binSample cannot see; nothing to cut on.
+			parts = 1
+		}
+		if parts > 1 {
+			// Cut at the bin's sample quantiles; duplicate quantile
+			// values collapse cuts, so a bin of tied values stays whole.
+			added, prevCut := 0, 0
+			for k := 1; k < parts; k++ {
+				cutIdx := len(inBin) * k / parts
+				cut := inBin[cutIdx]
+				if cut > bounds[len(bounds)-1] && cut < hi {
+					newCounts = append(newCounts, cutIdx-prevCut)
+					prevCut = cutIdx
+					bounds = append(bounds, cut)
+					added++
+				}
+			}
+			newCounts = append(newCounts, len(inBin)-prevCut)
+			if added > 0 {
+				stats.Split++
+				budget -= added
+			}
+		} else {
+			newCounts = append(newCounts, c)
+		}
+		bounds = append(bounds, hi)
+	}
+
+	// Merge pass: greedily extend a run of adjacent bins while its
+	// combined occupancy stays cold and the floor allows another merge.
+	// bounds has len(newCounts)+1 entries, so the run [i, j] collapses
+	// to the single boundary pair (bounds[i], bounds[j+1]).
+	merged := make([]float64, 0, len(bounds))
+	merged = append(merged, bounds[0])
+	binsNow := len(newCounts)
+	for i := 0; i < len(newCounts); {
+		c := newCounts[i]
+		j := i
+		for j+1 < len(newCounts) && binsNow > opt.MinBins &&
+			float64(c+newCounts[j+1]) < opt.MergeThreshold*mean {
+			j++
+			c += newCounts[j]
+			binsNow--
+			stats.Merged++
+		}
+		merged = append(merged, bounds[j+1])
+		i = j + 1
+	}
+
+	out := &Scheme{bounds: merged}
+	stats.BinsAfter = out.NumBins()
+	stats.ImbalanceAfter = out.ImbalanceRatio(sorted)
+	return out, stats, nil
+}
+
+// histogramSorted counts per-bin occupancy of an ascending sample by
+// boundary search (no per-value BinOf).
+func (s *Scheme) histogramSorted(sorted []float64) []int {
+	counts := make([]int, s.NumBins())
+	for i := 0; i < s.NumBins(); i++ {
+		lo, hi := s.bounds[i], s.bounds[i+1]
+		a := sort.SearchFloat64s(sorted, lo)
+		var b int
+		if i == s.NumBins()-1 {
+			b = len(sorted) // last bin is closed on the right
+		} else {
+			b = sort.SearchFloat64s(sorted, hi)
+		}
+		if i == 0 {
+			a = 0 // below-range values clamp into bin 0, like BinOf
+		}
+		if b < a {
+			b = a
+		}
+		counts[i] = b - a
+	}
+	return counts
+}
+
+// binSample slices the ascending sample values belonging to [lo, hi)
+// (closed at hi when last).
+func binSample(sorted []float64, lo, hi float64, last bool) []float64 {
+	a := sort.SearchFloat64s(sorted, lo)
+	b := sort.SearchFloat64s(sorted, hi)
+	if last {
+		b = len(sorted)
+	}
+	if a >= b {
+		return nil
+	}
+	return sorted[a:b]
+}

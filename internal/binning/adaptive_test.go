@@ -1,0 +1,134 @@
+package binning
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAdaptValidation(t *testing.T) {
+	s, _ := FromBounds([]float64{0, 1, 2})
+	if _, _, err := s.Adapt(nil, AdaptOptions{}); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, _, err := s.Adapt([]float64{math.NaN(), math.NaN()}, AdaptOptions{}); err == nil {
+		t.Error("all-NaN sample accepted")
+	}
+}
+
+func TestAdaptPreservesOuterBoundsAndValidity(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 100; trial++ {
+		sample := make([]float64, 500)
+		for i := range sample {
+			sample[i] = math.Exp(r.NormFloat64()) // skewed
+		}
+		s, err := Build(EqualFrequency, uniformSample(200, int64(trial)), 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, stats, err := s.Adapt(sample, AdaptOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, ob := out.Bounds(), s.Bounds()
+		if b[0] != ob[0] || b[len(b)-1] != ob[len(ob)-1] {
+			t.Fatalf("trial %d: outer bounds moved: %v -> [%v, %v]",
+				trial, []float64{ob[0], ob[len(ob)-1]}, b[0], b[len(b)-1])
+		}
+		if _, err := FromBounds(b); err != nil {
+			t.Fatalf("trial %d: adapted bounds invalid: %v", trial, err)
+		}
+		if stats.BinsAfter != out.NumBins() || stats.BinsBefore != s.NumBins() {
+			t.Fatalf("trial %d: stats bins %+v inconsistent", trial, stats)
+		}
+	}
+}
+
+func TestAdaptSplitsHotMergesCold(t *testing.T) {
+	// Uniform bounds over [0,100] but the sample piles into [40,45]:
+	// the hot leaves must split and the empty ones must merge, improving
+	// balance.
+	bounds := make([]float64, 11)
+	for i := range bounds {
+		bounds[i] = float64(i * 10)
+	}
+	s, _ := FromBounds(bounds)
+	r := rand.New(rand.NewSource(5))
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = 40 + r.Float64()*5
+	}
+	out, stats, err := s.Adapt(sample, AdaptOptions{MaxBins: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Split == 0 {
+		t.Error("hot bin not split")
+	}
+	if stats.Merged == 0 {
+		t.Error("cold bins not merged")
+	}
+	if stats.ImbalanceAfter >= stats.ImbalanceBefore {
+		t.Errorf("imbalance did not improve: %.2f -> %.2f",
+			stats.ImbalanceBefore, stats.ImbalanceAfter)
+	}
+	if out.NumBins() > 20 {
+		t.Errorf("MaxBins exceeded: %d", out.NumBins())
+	}
+}
+
+func TestAdaptRespectsMinBins(t *testing.T) {
+	bounds := make([]float64, 9)
+	for i := range bounds {
+		bounds[i] = float64(i)
+	}
+	s, _ := FromBounds(bounds)
+	// All the mass in one bin: everything else is cold and mergeable,
+	// but the floor must hold.
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = 3.5
+	}
+	out, _, err := s.Adapt(sample, AdaptOptions{MinBins: 4, MaxBins: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumBins() < 4 {
+		t.Fatalf("MinBins violated: %d bins", out.NumBins())
+	}
+}
+
+func TestAdaptConstantSampleIsStable(t *testing.T) {
+	s, _ := FromBounds([]float64{0, 1, 2, 3})
+	sample := []float64{1.5, 1.5, 1.5, 1.5}
+	out, _, err := s.Adapt(sample, AdaptOptions{MergeThreshold: -1, SplitThreshold: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromBounds(out.Bounds()); err != nil {
+		t.Fatalf("constant-sample adapt invalid: %v", err)
+	}
+}
+
+func TestAdaptDeterministic(t *testing.T) {
+	s, _ := Build(EqualFrequency, uniformSample(300, 8), 12)
+	sample := uniformSample(1000, 9)
+	a, _, err := s.Adapt(sample, AdaptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := s.Adapt(sample, AdaptOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, bb := a.Bounds(), b.Bounds()
+	if len(ab) != len(bb) {
+		t.Fatalf("non-deterministic bin count: %d vs %d", len(ab), len(bb))
+	}
+	for i := range ab {
+		if ab[i] != bb[i] {
+			t.Fatalf("non-deterministic bound %d: %v vs %v", i, ab[i], bb[i])
+		}
+	}
+}

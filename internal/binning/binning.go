@@ -72,9 +72,21 @@ func buildEqualFrequency(sample []float64, n int) *Scheme {
 	if top > bounds[len(bounds)-1] {
 		bounds = append(bounds, top)
 	} else {
-		// Degenerate all-equal sample: widen artificially so the single
-		// bin is well-formed.
-		bounds = append(bounds, bounds[len(bounds)-1]+1)
+		// Degenerate near-constant sample: widen artificially so the
+		// single bin is well-formed. "+1" vanishes near ±MaxFloat64
+		// (1e308+1 == 1e308) and at +Inf, so fall back to ULP widening,
+		// and for an all-+Inf sample widen the lower bound downward —
+		// there is no representable value above +Inf.
+		last := bounds[len(bounds)-1]
+		switch w := last + 1; {
+		case w > last:
+			bounds = append(bounds, w)
+		case !math.IsInf(last, 1):
+			bounds = append(bounds, math.Nextafter(last, math.Inf(1)))
+		default:
+			bounds[len(bounds)-1] = math.MaxFloat64
+			bounds = append(bounds, last)
+		}
 	}
 	return &Scheme{bounds: bounds}
 }
@@ -90,13 +102,38 @@ func buildEqualWidth(sample []float64, n int) *Scheme {
 		}
 	}
 	if hi <= lo { // constant data: widen the degenerate range
-		hi = lo + 1
+		switch w := lo + 1; {
+		case w > lo:
+			hi = w
+		case !math.IsInf(lo, 1):
+			hi = math.Nextafter(lo, math.Inf(1))
+		default: // all-+Inf sample: widen downward instead
+			lo = math.MaxFloat64
+			hi = math.Inf(1)
+		}
 	}
-	bounds := make([]float64, n+1)
-	for i := 0; i <= n; i++ {
-		bounds[i] = lo + (hi-lo)*float64(i)/float64(n)
+	// Interpolate over a finite surrogate of the range: (hi-lo)
+	// overflows to +Inf when the extremes straddle ±MaxFloat64, and
+	// lo + Inf*t is NaN, so interior bounds use the overflow-free convex
+	// form over clamped endpoints while the outer bounds keep the true
+	// (possibly infinite) extremes.
+	flo, fhi := lo, hi
+	if math.IsInf(flo, -1) {
+		flo = -math.MaxFloat64
 	}
-	bounds[n] = hi
+	if math.IsInf(fhi, 1) {
+		fhi = math.MaxFloat64
+	}
+	bounds := make([]float64, 0, n+1)
+	bounds = append(bounds, lo)
+	for i := 1; i < n; i++ {
+		t := float64(i) / float64(n)
+		b := flo*(1-t) + fhi*t
+		if b > bounds[len(bounds)-1] && b < hi {
+			bounds = append(bounds, b)
+		}
+	}
+	bounds = append(bounds, hi)
 	return &Scheme{bounds: bounds}
 }
 
@@ -125,8 +162,14 @@ func FromBounds(bounds []float64) (*Scheme, error) {
 // lies inside its bin's nominal interval. Bin membership is unchanged
 // (out-of-range values clamp into the edge bins either way). NaN or
 // already-covered extremes leave the scheme as is; the receiver is
-// never modified.
+// never modified. An empty range (lo > hi, e.g. the +Inf/-Inf extremes
+// of an all-NaN scan) or NaN endpoints are a no-op: there is nothing to
+// cover, and widening one side from an inverted pair would misstate the
+// data extent.
 func (s *Scheme) CoverRange(lo, hi float64) *Scheme {
+	if !(lo <= hi) { // inverted or NaN endpoints
+		return s
+	}
 	n := len(s.bounds) - 1
 	if !(lo < s.bounds[0]) && !(hi > s.bounds[n]) {
 		return s
@@ -160,9 +203,14 @@ func (s *Scheme) BinRange(i int) (lo, hi float64) {
 // clamp to bin 0; values at or above the last bound clamp to the last
 // bin — out-of-sample values must still land somewhere when the
 // boundaries were estimated from a partial sample (the paper's §IV-A1
-// procedure).
+// procedure). NaN also clamps to bin 0: every NaN comparison is false,
+// so the binary search below would otherwise report an out-of-range
+// index and crash the histogram/ingest paths on a single bad point.
 func (s *Scheme) BinOf(v float64) int {
 	n := s.NumBins()
+	if math.IsNaN(v) {
+		return 0
+	}
 	if v < s.bounds[0] {
 		return 0
 	}
@@ -223,19 +271,19 @@ func (a Alignment) String() string {
 // Classify returns the alignment of bin i with respect to vc.
 func (s *Scheme) Classify(i int, vc ValueConstraint) Alignment {
 	lo, hi := s.BinRange(i)
-	last := i == s.NumBins()-1
-	// Bin interval is [lo, hi) except the last bin which is [lo, hi].
+	return classifyInterval(lo, hi, i == s.NumBins()-1, vc)
+}
+
+// classifyInterval classifies the value interval [lo, hi) — closed at
+// hi when last is true — against vc. It is shared by leaf-bin Classify
+// and the Tree's super-bin classification so a subtree's class is
+// definitionally consistent with its leaves'.
+func classifyInterval(lo, hi float64, last bool, vc ValueConstraint) Alignment {
 	if vc.Max < lo || vc.Min > hi || (!last && vc.Min >= hi) {
 		return Disjoint
 	}
-	if vc.Min <= lo {
-		if last {
-			if vc.Max >= hi {
-				return Aligned
-			}
-		} else if vc.Max >= hi {
-			return Aligned
-		}
+	if vc.Min <= lo && vc.Max >= hi {
+		return Aligned
 	}
 	return Misaligned
 }

@@ -1,0 +1,159 @@
+package binning
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven edge cases for BinOf: NaN, ±Inf, and boundary duplicates
+// from skewed builds (satellite of the hierarchical-index PR).
+func TestBinOfEdgeCases(t *testing.T) {
+	s, err := FromBounds([]float64{-10, 0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		v    float64
+		want int
+	}{
+		{"nan clamps to bin 0", math.NaN(), 0},
+		{"-inf clamps to bin 0", math.Inf(-1), 0},
+		{"+inf clamps to last", math.Inf(1), 1},
+		{"-max clamps to bin 0", -math.MaxFloat64, 0},
+		{"+max clamps to last", math.MaxFloat64, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := s.BinOf(c.v); got != c.want {
+				t.Errorf("BinOf(%v) = %d, want %d", c.v, got, c.want)
+			}
+		})
+	}
+
+	// Infinite outer bounds (from CoverRange over ±Inf data) must still
+	// assign every input, including the infinities themselves.
+	inf, err := FromBounds([]float64{math.Inf(-1), 0, math.Inf(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	infCases := []struct {
+		name string
+		v    float64
+		want int
+	}{
+		{"-inf lands in bin 0", math.Inf(-1), 0},
+		{"+inf lands in last", math.Inf(1), 1},
+		{"nan lands in bin 0", math.NaN(), 0},
+		{"finite negative", -5, 0},
+		{"finite positive", 5, 1},
+		{"boundary zero goes right", 0, 1},
+	}
+	for _, c := range infCases {
+		t.Run("inf-bounds/"+c.name, func(t *testing.T) {
+			if got := inf.BinOf(c.v); got != c.want {
+				t.Errorf("BinOf(%v) = %d, want %d", c.v, got, c.want)
+			}
+		})
+	}
+}
+
+func TestCoverRangeEdgeCases(t *testing.T) {
+	s, _ := FromBounds([]float64{0, 10, 20})
+	cases := []struct {
+		name   string
+		lo, hi float64
+		same   bool // expect the receiver back, untouched
+		wantLo float64
+		wantHi float64
+	}{
+		{"empty range is a no-op", 5, 3, true, 0, 20},
+		{"all-NaN scan extremes (+inf,-inf) is a no-op", math.Inf(1), math.Inf(-1), true, 0, 20},
+		{"nan lo is a no-op", math.NaN(), 30, true, 0, 20},
+		{"nan hi is a no-op", -5, math.NaN(), true, 0, 20},
+		{"both nan is a no-op", math.NaN(), math.NaN(), true, 0, 20},
+		{"widen to -inf", math.Inf(-1), 15, false, math.Inf(-1), 20},
+		{"widen to +inf", 5, math.Inf(1), false, 0, math.Inf(1)},
+		{"widen both infinite", math.Inf(-1), math.Inf(1), false, math.Inf(-1), math.Inf(1)},
+		{"single point inside", 7, 7, true, 0, 20},
+		{"single point below", -3, -3, false, -3, 20},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := s.CoverRange(c.lo, c.hi)
+			if c.same {
+				if got != s {
+					t.Fatalf("expected untouched receiver, got bounds %v", got.Bounds())
+				}
+				return
+			}
+			b := got.Bounds()
+			if b[0] != c.wantLo || b[len(b)-1] != c.wantHi {
+				t.Fatalf("bounds = %v, want outer [%v, %v]", b, c.wantLo, c.wantHi)
+			}
+			// Widening must preserve strict increase (round-trippable
+			// through FromBounds, which the store meta path relies on).
+			if _, err := FromBounds(b); err != nil {
+				t.Fatalf("widened bounds not valid: %v", err)
+			}
+		})
+	}
+}
+
+// Near-constant and extreme-valued samples must still produce strictly
+// increasing bounds — the store meta round-trips them through
+// FromBounds, so a degenerate build would brick Open.
+func TestBuildDegenerateSamples(t *testing.T) {
+	cases := []struct {
+		name   string
+		sample []float64
+	}{
+		{"constant zero", []float64{0, 0, 0}},
+		{"constant huge", []float64{math.MaxFloat64, math.MaxFloat64}},
+		{"constant -huge", []float64{-math.MaxFloat64, -math.MaxFloat64}},
+		{"constant +inf", []float64{math.Inf(1), math.Inf(1)}},
+		{"constant -inf", []float64{math.Inf(-1), math.Inf(-1)}},
+		{"near-constant ulp apart", []float64{1, math.Nextafter(1, 2)}},
+		{"straddling extremes", []float64{-math.MaxFloat64, math.MaxFloat64}},
+		{"inf extremes", []float64{math.Inf(-1), 0, math.Inf(1)}},
+		{"tiny denormals", []float64{0, math.SmallestNonzeroFloat64}},
+	}
+	for _, strategy := range []Strategy{EqualFrequency, EqualWidth} {
+		for _, c := range cases {
+			t.Run(string(strategy)+"/"+c.name, func(t *testing.T) {
+				s, err := Build(strategy, c.sample, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := FromBounds(s.Bounds()); err != nil {
+					t.Fatalf("bounds %v not round-trippable: %v", s.Bounds(), err)
+				}
+				for _, v := range c.sample {
+					if b := s.BinOf(v); b < 0 || b >= s.NumBins() {
+						t.Fatalf("BinOf(%v) = %d out of [0,%d)", v, b, s.NumBins())
+					}
+				}
+			})
+		}
+	}
+}
+
+// Duplicate quantiles from heavily tied samples collapse, shrinking the
+// effective bin count instead of producing equal adjacent bounds.
+func TestBuildCollapsesTiedQuantiles(t *testing.T) {
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = 5 // 97 ties...
+	}
+	sample[0], sample[1], sample[2] = 1, 2, 9
+	s, err := Build(EqualFrequency, sample, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromBounds(s.Bounds()); err != nil {
+		t.Fatalf("tied build produced invalid bounds: %v", err)
+	}
+	if s.NumBins() >= 16 {
+		t.Fatalf("expected collapsed bin count, got %d", s.NumBins())
+	}
+}

@@ -86,6 +86,52 @@ func (b *Bitmap) AndNot(o *Bitmap) {
 	}
 }
 
+// AndCount returns Count(b AND o) without materializing the
+// intersection — the planner's cardinality probes run this per candidate
+// bin, so avoiding the Clone+And round trip matters.
+func (b *Bitmap) AndCount(o *Bitmap) int64 {
+	b.checkSame(o)
+	var c int64
+	for i, w := range b.words {
+		c += int64(bits.OnesCount64(w & o.words[i]))
+	}
+	return c
+}
+
+// OrCount returns Count(b OR o) without materializing the union.
+func (b *Bitmap) OrCount(o *Bitmap) int64 {
+	b.checkSame(o)
+	var c int64
+	for i, w := range b.words {
+		c += int64(bits.OnesCount64(w | o.words[i]))
+	}
+	return c
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1
+// when no set bit remains. It allocates nothing, so callers can walk
+// set bits with `for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1)`
+// without the closure overhead of Each or the slice of Indices.
+func (b *Bitmap) NextSet(i int64) int64 {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := int(i >> 6)
+	w := b.words[wi] >> uint(i&63)
+	if w != 0 {
+		return i + int64(bits.TrailingZeros64(w))
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return int64(wi)*64 + int64(bits.TrailingZeros64(b.words[wi]))
+		}
+	}
+	return -1
+}
+
 // Not flips every bit in place.
 func (b *Bitmap) Not() {
 	for i := range b.words {

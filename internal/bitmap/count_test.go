@@ -1,0 +1,174 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// mixedBitmap fills a bitmap with varied structure: uniform noise,
+// dense runs, and long zero gaps, so WAH fills and literals both occur.
+func mixedBitmap(n int64, seed int64) *Bitmap {
+	r := rand.New(rand.NewSource(seed))
+	b := New(n)
+	i := int64(0)
+	for i < n {
+		switch r.Intn(3) {
+		case 0: // zero gap
+			i += int64(r.Intn(200))
+		case 1: // dense run
+			run := int64(r.Intn(100))
+			for j := int64(0); j < run && i < n; j++ {
+				b.Set(i)
+				i++
+			}
+		default: // sparse noise
+			span := int64(r.Intn(150))
+			for j := int64(0); j < span && i < n; j++ {
+				if r.Intn(4) == 0 {
+					b.Set(i)
+				}
+				i++
+			}
+		}
+	}
+	return b
+}
+
+func TestBitmapAndOrCountEquivalence(t *testing.T) {
+	for trial := int64(0); trial < 50; trial++ {
+		n := 1 + rand.New(rand.NewSource(trial)).Int63n(4000)
+		a := mixedBitmap(n, trial*2+1)
+		b := mixedBitmap(n, trial*2+2)
+
+		want := a.Clone()
+		want.And(b)
+		if got := a.AndCount(b); got != want.Count() {
+			t.Fatalf("trial %d: AndCount = %d, And+Count = %d", trial, got, want.Count())
+		}
+		want = a.Clone()
+		want.Or(b)
+		if got := a.OrCount(b); got != want.Count() {
+			t.Fatalf("trial %d: OrCount = %d, Or+Count = %d", trial, got, want.Count())
+		}
+	}
+}
+
+func TestBitmapNextSetEquivalence(t *testing.T) {
+	for trial := int64(0); trial < 30; trial++ {
+		n := 1 + rand.New(rand.NewSource(100+trial)).Int63n(3000)
+		b := mixedBitmap(n, 300+trial)
+		var got []int64
+		for i := b.NextSet(0); i >= 0; i = b.NextSet(i + 1) {
+			got = append(got, i)
+		}
+		want := b.Indices()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: NextSet walked %d bits, Indices has %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: position %d: NextSet %d != Indices %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+	// Edge cases.
+	b := New(10)
+	if b.NextSet(0) != -1 {
+		t.Error("empty bitmap returned a set bit")
+	}
+	b.Set(9)
+	if b.NextSet(0) != 9 || b.NextSet(9) != 9 {
+		t.Error("single tail bit not found")
+	}
+	if b.NextSet(10) != -1 || b.NextSet(-5) != 9 {
+		t.Error("out-of-range start mishandled")
+	}
+}
+
+func TestWAHAndOrCountEquivalence(t *testing.T) {
+	for trial := int64(0); trial < 50; trial++ {
+		n := 1 + rand.New(rand.NewSource(500+trial)).Int63n(5000)
+		a := Compress(mixedBitmap(n, 700+trial))
+		b := Compress(mixedBitmap(n, 900+trial))
+
+		if got, want := a.AndCount(b), a.And(b).Count(); got != want {
+			t.Fatalf("trial %d: WAH AndCount = %d, And+Count = %d", trial, got, want)
+		}
+		if got, want := a.OrCount(b), a.Or(b).Count(); got != want {
+			t.Fatalf("trial %d: WAH OrCount = %d, Or+Count = %d", trial, got, want)
+		}
+	}
+}
+
+func TestWAHBitsEquivalence(t *testing.T) {
+	lengths := []int64{1, 30, 31, 32, 62, 63, 100, 3100}
+	for trial := int64(0); trial < 30; trial++ {
+		n := lengths[trial%int64(len(lengths))] + trial
+		raw := mixedBitmap(n, 1100+trial)
+		w := Compress(raw)
+		var got []int64
+		it := w.Bits()
+		for i, ok := it.Next(); ok; i, ok = it.Next() {
+			got = append(got, i)
+		}
+		want := raw.Indices()
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: Bits walked %d bits, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: position %d: Bits %d != %d", n, i, got[i], want[i])
+			}
+		}
+	}
+	// All-ones bitmap exercises the fill-run path including the clamped
+	// final group.
+	b := New(100)
+	for i := int64(0); i < 100; i++ {
+		b.Set(i)
+	}
+	it := Compress(b).Bits()
+	for want := int64(0); want < 100; want++ {
+		i, ok := it.Next()
+		if !ok || i != want {
+			t.Fatalf("ones: got (%d,%v), want %d", i, ok, want)
+		}
+	}
+	if _, ok := it.Next(); ok {
+		t.Fatal("ones: iterator overran")
+	}
+}
+
+func BenchmarkWAHAndCount(b *testing.B) {
+	n := int64(1 << 20)
+	x := Compress(mixedBitmap(n, 1))
+	y := Compress(mixedBitmap(n, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.AndCount(y)
+	}
+}
+
+func BenchmarkWAHAndPlusCount(b *testing.B) {
+	n := int64(1 << 20)
+	x := Compress(mixedBitmap(n, 1))
+	y := Compress(mixedBitmap(n, 2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.And(y).Count()
+	}
+}
+
+func BenchmarkBitmapNextSet(b *testing.B) {
+	bm := mixedBitmap(1<<20, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var c int64
+		for j := bm.NextSet(0); j >= 0; j = bm.NextSet(j + 1) {
+			c++
+		}
+	}
+}

@@ -188,6 +188,106 @@ func (w *WAH) binop(o *WAH, op func(a, b uint32) uint32) *WAH {
 	return out
 }
 
+// OrCount returns Count(w OR o) without materializing the union.
+func (w *WAH) OrCount(o *WAH) int64 {
+	return w.binopCount(o, func(a, b uint32) uint32 { return a | b })
+}
+
+// AndCount returns Count(w AND o) without materializing the
+// intersection. The planner's cardinality probes use this to rank
+// candidate bins, so the group stream is consumed in place with no
+// output WAH allocated.
+func (w *WAH) AndCount(o *WAH) int64 {
+	return w.binopCount(o, func(a, b uint32) uint32 { return a & b })
+}
+
+func (w *WAH) binopCount(o *WAH, op func(a, b uint32) uint32) int64 {
+	if w.n != o.n {
+		panic(fmt.Sprintf("bitmap: WAH length mismatch %d vs %d", w.n, o.n))
+	}
+	var c, pos int64
+	var ai, bi wahIter
+	ai.words, bi.words = w.words, o.words
+	ai.load()
+	bi.load()
+	for ai.valid() && bi.valid() {
+		g := op(ai.group(), bi.group())
+		if pos+wahGroupBits > w.n {
+			// Final partial group: padding bits past n must not count.
+			g &= (1 << uint(w.n-pos)) - 1
+		}
+		c += int64(bits.OnesCount32(g))
+		pos += wahGroupBits
+		ai.next()
+		bi.next()
+	}
+	return c
+}
+
+// WAHBits walks the set bits of a WAH bitmap in ascending order without
+// decompressing it and without allocating: one-fills are emitted as
+// index runs, literals by trailing-zero stripping. Use as
+//
+//	it := w.Bits()
+//	for i, ok := it.Next(); ok; i, ok = it.Next() { ... }
+type WAHBits struct {
+	words           []uint32
+	n               int64
+	wi              int
+	pos             int64 // logical bit offset of the next unloaded group
+	lit             uint32
+	litBase         int64
+	runNext, runEnd int64
+}
+
+// Bits returns an iterator over the set bits. The returned value is
+// self-contained; copying it forks the iteration state.
+func (w *WAH) Bits() WAHBits {
+	return WAHBits{words: w.words, n: w.n}
+}
+
+// Next returns the next set bit index, or ok=false when exhausted.
+func (it *WAHBits) Next() (int64, bool) {
+	for {
+		if it.runNext < it.runEnd {
+			i := it.runNext
+			it.runNext++
+			return i, true
+		}
+		if it.lit != 0 {
+			t := bits.TrailingZeros32(it.lit)
+			it.lit &= it.lit - 1
+			if i := it.litBase + int64(t); i < it.n {
+				return i, true
+			}
+			// Padding bit past n in the final group; any further set
+			// bits in this literal are also padding.
+			it.lit = 0
+			continue
+		}
+		if it.wi >= len(it.words) {
+			return -1, false
+		}
+		word := it.words[it.wi]
+		it.wi++
+		if word&wahFillFlag != 0 {
+			span := int64(word&wahMaxCount) * wahGroupBits
+			if word&wahFillValue != 0 {
+				it.runNext = it.pos
+				it.runEnd = it.pos + span
+				if it.runEnd > it.n {
+					it.runEnd = it.n
+				}
+			}
+			it.pos += span
+		} else {
+			it.lit = word
+			it.litBase = it.pos
+			it.pos += wahGroupBits
+		}
+	}
+}
+
 // wahIter walks a WAH word stream one 31-bit group at a time.
 type wahIter struct {
 	words []uint32

@@ -89,6 +89,17 @@ func BuildWithSampleContext(ctx context.Context, fs *pfs.Sim, clk *pfs.Clock, pr
 	if err != nil {
 		return nil, err
 	}
+	if cfg.AdaptiveBins {
+		// Re-balance against the same sample before committing: the
+		// equal-frequency quantiles can leave hot leaves under heavy
+		// ties or skew, and a balanced leaf level keeps the super-bin
+		// tree's pruning effective.
+		adapted, _, aerr := scheme.Adapt(sample, binning.AdaptOptions{MaxBins: 2 * cfg.NumBins})
+		if aerr != nil {
+			return nil, aerr
+		}
+		scheme = adapted
+	}
 	// The sampled boundaries need not cover the full data range, and
 	// BinOf clamps out-of-range values into the edge bins — which would
 	// let a constraint covering bin 0's (or the last bin's) nominal
@@ -176,11 +187,36 @@ func BuildWithSampleContext(ctx context.Context, fs *pfs.Sim, clk *pfs.Clock, pr
 	encSpan.AddVirt(clk.Now() - v1)
 	encSpan.End()
 
+	// Optional hierarchical V-level index: super-bin tree bitmaps over
+	// the same binned points, built and written serially so the store
+	// stays byte-identical across worker counts.
+	var vidx *vindex
+	if cfg.HierarchicalIndex {
+		tree, terr := binning.NewTree(scheme, cfg.IndexFanout)
+		if terr != nil {
+			return nil, terr
+		}
+		v2 := clk.Now()
+		_, vSpan := obs.StartSpan(ctx, "pass_vindex")
+		vidx, err = buildVindex(fs, clk, prefix, tree, shape, chunks, perBin, vSpan)
+		if err != nil {
+			vSpan.End()
+			return nil, err
+		}
+		vSpan.AddVirt(clk.Now() - v2)
+		vSpan.End()
+	}
+
 	metaBytes := meta.marshal()
 	if err := fs.WriteFile(clk, metaPath(prefix), metaBytes); err != nil {
 		return nil, err
 	}
-	return newStore(fs, prefix, meta, cfg.ByteCodec, cfg.FloatCodec, cfg.Assignment)
+	st, err := newStore(fs, prefix, meta, cfg.ByteCodec, cfg.FloatCodec, cfg.Assignment)
+	if err != nil {
+		return nil, err
+	}
+	st.vidx = vidx
+	return st, nil
 }
 
 // rawUnit is a unit's points before encoding: the intra-chunk offsets

@@ -154,6 +154,21 @@ type Config struct {
 	// builds), and the virtual clock charges the aggregated compute as
 	// total/workers wall-equivalent.
 	BuildWorkers int
+	// HierarchicalIndex builds a super-bin tree over the V-level with
+	// OR-aggregated WAH bitmaps per node (the vindex subfile), letting
+	// index-only range queries answer fully-inside subtrees from one
+	// aggregated bitmap read instead of per-bin index files. Off by
+	// default: the vindex replicates each position once per tree level,
+	// so it trades index footprint for query latency.
+	HierarchicalIndex bool
+	// IndexFanout is the super-bin tree arity (default 4; min 2). Only
+	// meaningful with HierarchicalIndex.
+	IndexFanout int
+	// AdaptiveBins re-balances the sampled bin boundaries before the
+	// build commits them: hot leaves split at in-bin quantiles and cold
+	// adjacent leaves merge (binning.Adapt), keeping the super-bin tree
+	// balanced under skewed data.
+	AdaptiveBins bool
 }
 
 // DefaultConfig returns the paper's MLOC-COL configuration for a given
@@ -239,6 +254,12 @@ func (c *Config) normalize() error {
 	}
 	if c.BuildWorkers < 0 {
 		return fmt.Errorf("core: BuildWorkers %d < 0", c.BuildWorkers)
+	}
+	if c.IndexFanout == 0 {
+		c.IndexFanout = 4
+	}
+	if c.IndexFanout < 2 {
+		return fmt.Errorf("core: IndexFanout %d < 2", c.IndexFanout)
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"sort"
 	"time"
 
+	"mloc/internal/binning"
+	"mloc/internal/bitmap"
 	"mloc/internal/cache"
 	"mloc/internal/grid"
 	"mloc/internal/mpi"
@@ -37,6 +39,7 @@ type rankOut struct {
 	bytes      int64
 	blocks     int
 	cacheHits  int
+	nodesRead  int
 	reassemble float64
 	filter     float64
 }
@@ -75,8 +78,19 @@ func (s *Store) QueryContext(ctx context.Context, req *query.Request, ranks int)
 	}
 
 	_, ps := obs.StartSpan(ctx, "plan")
-	tasks, binsAccessed := s.planTasks(req)
+	tasks, binsAccessed, hier := s.planTasks(req)
 	perRank := s.assignTasks(tasks, ranks)
+	var perRankNodes [][]binning.NodeRef
+	if hier != nil {
+		loads := make([]int, ranks)
+		for r := range perRank {
+			loads[r] = len(perRank[r])
+		}
+		perRankNodes = assignNodes(hier.Inside, loads)
+		ps.SetInt("bins_pruned", int64(hier.PrunedLeaves))
+		ps.SetInt("bins_covered", int64(hier.CoveredLeaves))
+		ps.SetInt("index_nodes", int64(len(hier.Inside)))
+	}
 	ps.SetInt("tasks", int64(len(tasks)))
 	ps.SetInt("bins", int64(binsAccessed))
 	ps.SetInt("ranks", int64(ranks))
@@ -88,6 +102,9 @@ func (s *Store) QueryContext(ctx context.Context, req *query.Request, ranks int)
 		rctx, rs := obs.StartSpan(ctx, "rank")
 		rs.SetInt("rank", int64(c.Rank()))
 		rerr := s.runRank(rctx, clks[c.Rank()], perRank[c.Rank()], req, level, &outs[c.Rank()])
+		if rerr == nil && perRankNodes != nil {
+			rerr = s.runNodes(rctx, clks[c.Rank()], perRankNodes[c.Rank()], req, &outs[c.Rank()])
+		}
 		o := &outs[c.Rank()]
 		rs.SetFloat("virt_total_s", o.time.Total())
 		rs.SetInt("matches", int64(len(o.matches)))
@@ -101,12 +118,21 @@ func (s *Store) QueryContext(ctx context.Context, req *query.Request, ranks int)
 	}
 
 	res := &query.Result{BinsAccessed: binsAccessed}
+	if hier != nil {
+		// Covered leaves were answered from aggregated node bitmaps;
+		// they count as accessed (their contents were served) even
+		// though no per-bin file was touched.
+		res.BinsAccessed += hier.CoveredLeaves
+		res.BinsPruned = hier.PrunedLeaves
+		res.BinsCovered = hier.CoveredLeaves
+	}
 	var slowest float64
 	for i := range outs {
 		res.Matches = append(res.Matches, outs[i].matches...)
 		res.BytesRead += outs[i].bytes
 		res.BlocksRead += outs[i].blocks
 		res.CacheHits += outs[i].cacheHits
+		res.IndexNodesRead += outs[i].nodesRead
 		if t := outs[i].time.Total(); t >= slowest {
 			slowest = t
 			res.Time = outs[i].time
@@ -116,16 +142,36 @@ func (s *Store) QueryContext(ctx context.Context, req *query.Request, ranks int)
 	return res, nil
 }
 
+// hierPlan reports whether a request takes the hierarchical index path:
+// the store has a vindex, the request is value-constrained, and it is
+// index-only, so fully-inside subtrees resolve from aggregated node
+// bitmaps with no data reads. Value-retrieval requests decode the data
+// anyway, which the per-bin layout already serves optimally.
+func (s *Store) hierPlan(req *query.Request) bool {
+	return s.vidx != nil && req.VC != nil && req.IndexOnly
+}
+
 // planTasks selects bins by VC and chunks by SC, producing the task
 // list in column order (bin-major, then storage order within the bin).
-func (s *Store) planTasks(req *query.Request) ([]task, int) {
+// On the hierarchical path only boundary leaves become tasks; the
+// returned Selection carries the inside-subtree roots (answered from
+// the vindex by runNodes) and the pruning accounting.
+func (s *Store) planTasks(req *query.Request) ([]task, int, *binning.Selection) {
 	// Bin selection.
 	type binSel struct {
 		bin      int
 		filterVC bool
 	}
 	var sel []binSel
-	if req.VC != nil {
+	var hier *binning.Selection
+	if s.hierPlan(req) {
+		hs := s.vidx.tree.Select(*req.VC)
+		hier = &hs
+		sel = make([]binSel, 0, len(hs.Boundary))
+		for _, b := range hs.Boundary {
+			sel = append(sel, binSel{bin: b, filterVC: true})
+		}
+	} else if req.VC != nil {
 		aligned, mis := s.scheme.SelectBins(*req.VC)
 		sel = make([]binSel, 0, len(aligned)+len(mis))
 		for _, b := range aligned {
@@ -173,7 +219,142 @@ func (s *Store) planTasks(req *query.Request) ([]task, int) {
 			binsTouched++
 		}
 	}
-	return tasks, binsTouched
+	return tasks, binsTouched, hier
+}
+
+// minNodesPerRank keeps node fan-out worthwhile: every rank that
+// touches the vindex pays an open plus at least one seek, so tiny node
+// sets concentrate on few ranks instead of spreading that fixed cost
+// everywhere.
+const minNodesPerRank = 8
+
+// assignNodes splits the inside-subtree roots into contiguous runs
+// (each run's vindex reads stay adjacent and coalesce) and hands the
+// runs to the ranks with the lightest task load, so node reads overlap
+// boundary-bin work instead of extending the slowest rank.
+func assignNodes(nodes []binning.NodeRef, loads []int) [][]binning.NodeRef {
+	ranks := len(loads)
+	out := make([][]binning.NodeRef, ranks)
+	if len(nodes) == 0 {
+		return out
+	}
+	k := (len(nodes) + minNodesPerRank - 1) / minNodesPerRank
+	if k > ranks {
+		k = ranks
+	}
+	// Ranks ordered by ascending task load, ties by rank for determinism.
+	order := make([]int, ranks)
+	for r := range order {
+		order[r] = r
+	}
+	sort.SliceStable(order, func(i, j int) bool { return loads[order[i]] < loads[order[j]] })
+	per := (len(nodes) + k - 1) / k
+	for i := 0; i < k; i++ {
+		lo, hi := i*per, i*per+per
+		if hi > len(nodes) {
+			hi = len(nodes)
+		}
+		out[order[i]] = nodes[lo:hi]
+	}
+	return out
+}
+
+// runNodes answers one rank's share of the inside-subtree roots from
+// the vindex: all node bitmaps are fetched in a single coalesced read
+// batch from the vindex subfile (one open, extents sorted and
+// gap-merged across tree levels), then decoded and their set bits
+// emitted as matches (filtered by SC per point). Decode and filter
+// cost is charged per tree level — the span carries one virtual-clock
+// event per level, mirroring the per-level charging the build passes
+// report.
+func (s *Store) runNodes(ctx context.Context, clk *pfs.Clock, nodes []binning.NodeRef, req *query.Request, out *rankOut) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: query canceled before vindex nodes: %w", err)
+	}
+	_, vs := obs.StartSpan(ctx, "vindex")
+	defer vs.End()
+	vs.SetInt("nodes", int64(len(nodes)))
+	if err := s.fs.Open(clk, s.vidx.path); err != nil {
+		return err
+	}
+
+	// One read batch for the whole node set: the payloads live in one
+	// subfile in level order, so sorting and gap-merging the extents
+	// costs at most a seek per disjoint run, not one per level.
+	t0 := clk.Now()
+	extents := make([]extent, len(nodes))
+	for i, n := range nodes {
+		id := s.vidx.nodeID(n)
+		extents[i] = extent{s.vidx.offs[id], s.vidx.lens[id]}
+	}
+	m, ioBytes, err := readCoalesced(s.fs, clk, s.vidx.path, extents)
+	if err != nil {
+		return err
+	}
+	out.bytes += ioBytes
+	out.time.IO += clk.Now() - t0
+	vs.Event("read", 0, clk.Now()-t0).SetInt("bytes", ioBytes)
+
+	// Group by level (ascending); Select emits nodes in leaf order, so
+	// a stable partition keeps each level's nodes sorted.
+	byLevel := make(map[int][]binning.NodeRef)
+	maxLevel := 0
+	for _, n := range nodes {
+		byLevel[n.Level] = append(byLevel[n.Level], n)
+		if n.Level > maxLevel {
+			maxLevel = n.Level
+		}
+	}
+	dims := s.meta.shape.Dims()
+	coords := make([]int, dims)
+	for l := 0; l <= maxLevel; l++ {
+		lvl := byLevel[l]
+		if len(lvl) == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: query canceled at vindex level %d: %w", l, err)
+		}
+		l0 := clk.Now()
+		for _, n := range lvl {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("core: query canceled at vindex node %d/%d: %w", n.Level, n.Index, err)
+			}
+			id := s.vidx.nodeID(n)
+			raw, err := m.slice(s.vidx.offs[id], s.vidx.lens[id])
+			if err != nil {
+				return fmt.Errorf("core: vindex node %d: %w", id, err)
+			}
+			var w bitmap.WAH
+			decode := clk.MeasureCPU(func() {
+				err = w.UnmarshalBinary(raw)
+			})
+			out.time.Decompress += decode
+			if err != nil {
+				return fmt.Errorf("core: vindex node %d: %w", id, err)
+			}
+			filter := clk.MeasureCPU(func() {
+				it := w.Bits()
+				for lin, ok := it.Next(); ok; lin, ok = it.Next() {
+					if req.SC != nil {
+						coords = s.meta.shape.Coords(lin, coords[:0])
+						if !req.SC.Contains(coords) {
+							continue
+						}
+					}
+					out.matches = append(out.matches, query.Match{Index: lin})
+				}
+			})
+			out.filter += filter
+			out.time.Reconstruct += filter
+			out.nodesRead++
+		}
+		vs.Event("level", 0, clk.Now()-l0).SetInt("level", int64(l))
+	}
+	return nil
 }
 
 // assignTasks splits the task list across ranks. Column order hands

@@ -36,6 +36,14 @@ type Plan struct {
 	// Points is the total point count inside the touched units — the
 	// upper bound on matches before VC/SC filtering.
 	Points int64
+	// Hierarchical reports whether the request takes the super-bin tree
+	// path (vindex present, VC set, index-only).
+	Hierarchical bool
+	// BinsPruned, BinsCovered, and IndexNodes are the planner's tree
+	// classification on the hierarchical path: leaves ruled out without
+	// any read, leaves answered wholesale from aggregated node bitmaps,
+	// and the node count those reads touch.
+	BinsPruned, BinsCovered, IndexNodes int
 	// Measured, when non-nil, carries the observed cost breakdown of an
 	// actual execution of this plan (set via Observe), so predicted and
 	// measured cost sit side by side.
@@ -57,6 +65,10 @@ type MeasuredCost struct {
 	CacheHits int
 	// Matches is the result cardinality.
 	Matches int
+	// BinsPruned and BinsCovered are the hierarchical index's measured
+	// pruning factors (zero on flat scans); IndexNodesRead counts the
+	// aggregated node bitmaps actually fetched.
+	BinsPruned, BinsCovered, IndexNodesRead int
 }
 
 // TotalSeconds returns the summed component seconds.
@@ -72,6 +84,8 @@ func (m *MeasuredCost) String() string {
 		m.TotalSeconds(), m.IOSeconds, m.DecompressSeconds, m.ReconstructSeconds)
 	fmt.Fprintf(&sb, "  measured I/O: %d bytes, %d blocks decoded, %d cache hits, %d matches\n",
 		m.BytesRead, m.BlocksRead, m.CacheHits, m.Matches)
+	fmt.Fprintf(&sb, "  pruning: %d bins pruned, %d covered via %d index nodes\n",
+		m.BinsPruned, m.BinsCovered, m.IndexNodesRead)
 	return sb.String()
 }
 
@@ -89,6 +103,9 @@ func (p *Plan) Observe(res *query.Result) {
 		BlocksRead:         res.BlocksRead,
 		CacheHits:          res.CacheHits,
 		Matches:            len(res.Matches),
+		BinsPruned:         res.BinsPruned,
+		BinsCovered:        res.BinsCovered,
+		IndexNodesRead:     res.IndexNodesRead,
 	}
 }
 
@@ -104,9 +121,18 @@ func (s *Store) Explain(req *query.Request) (*Plan, error) {
 	if s.meta.mode == ModeFloats && level != plod.MaxLevel {
 		return nil, fmt.Errorf("core: store mode %q does not support PLoD level %d", s.meta.mode, level)
 	}
-	tasks, _ := s.planTasks(req)
+	tasks, _, hier := s.planTasks(req)
 
 	p := &Plan{Order: s.meta.order, PlanesRead: 1}
+	if hier != nil {
+		p.Hierarchical = true
+		p.BinsPruned = hier.PrunedLeaves
+		p.BinsCovered = hier.CoveredLeaves
+		p.IndexNodes = len(hier.Inside)
+		for _, n := range hier.Inside {
+			p.IndexBytes += s.vidx.lens[s.vidx.nodeID(n)]
+		}
+	}
 	if s.meta.mode == ModePlanes {
 		p.PlanesRead = plod.PlanesForLevel(level)
 	}
@@ -150,6 +176,10 @@ func (p *Plan) String() string {
 		p.Units, p.UnitsWithData, p.PlanesRead)
 	fmt.Fprintf(&sb, "  est. I/O: %d index bytes + %d data bytes over %d candidate points\n",
 		p.IndexBytes, p.DataBytes, p.Points)
+	if p.Hierarchical {
+		fmt.Fprintf(&sb, "  index tree: %d bins pruned, %d covered via %d aggregated nodes\n",
+			p.BinsPruned, p.BinsCovered, p.IndexNodes)
+	}
 	if p.Measured != nil {
 		sb.WriteString(p.Measured.String())
 	}

@@ -31,6 +31,8 @@ type Store struct {
 	// processes; it lets tests cancel a context mid-query
 	// deterministically. Nil outside tests.
 	hookBeforeBin func(bin int)
+	// vidx is the hierarchical super-bin index; nil for flat stores.
+	vidx *vindex
 }
 
 // newStore assembles the runtime view over metadata.
@@ -92,7 +94,17 @@ func Open(fs *pfs.Sim, clk *pfs.Clock, prefix string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newStore(fs, prefix, meta, bc, fc, AssignColumn)
+	st, err := newStore(fs, prefix, meta, bc, fc, AssignColumn)
+	if err != nil {
+		return nil, err
+	}
+	// Probe for the hierarchical index subfile; only its header and
+	// offset table are read here, node payloads are fetched per query.
+	st.vidx, err = openVindex(fs, clk, prefix, st.scheme, st.meta.shape.Elems())
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
 }
 
 // Shape returns the variable's grid shape.
@@ -148,8 +160,14 @@ func (s *Store) IndexBytes() int64 {
 	if sz, err := s.fs.Size(metaPath(s.prefix)); err == nil {
 		total += sz
 	}
+	if s.vidx != nil {
+		total += s.vidx.size
+	}
 	return total
 }
+
+// Hierarchical reports whether the store carries a super-bin tree index.
+func (s *Store) Hierarchical() bool { return s.vidx != nil }
 
 // TotalBytes returns data + index footprint.
 func (s *Store) TotalBytes() int64 { return s.DataBytes() + s.IndexBytes() }

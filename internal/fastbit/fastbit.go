@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"mloc/internal/binning"
 	"mloc/internal/bitmap"
@@ -28,6 +29,14 @@ type Config struct {
 	NumBins int
 	// SampleSize bounds the values sampled for bin-boundary estimation.
 	SampleSize int
+	// Hierarchical appends OR-aggregated super-bin bitmaps above the
+	// leaf bins (the same tree core builds into its vindex) so
+	// value-constrained queries read only the inside-subtree node
+	// payloads and boundary-leaf bitmaps instead of the full index.
+	Hierarchical bool
+	// Fanout is the super-bin tree arity (default 4; ignored unless
+	// Hierarchical).
+	Fanout int
 }
 
 // DefaultConfig mirrors the paper's FastBit setup.
@@ -45,6 +54,23 @@ type Store struct {
 	// index file (kept in memory as catalog metadata, as FastBit does).
 	bitmapOffsets []int64
 	indexSize     int64
+	// tree, nodeOffs, and nodeLens carry the hierarchical super-bin
+	// section: node payloads appended after the leaf bitmaps, located by
+	// nodeID (level 0 first; level-0 entries alias the leaf bitmaps).
+	// All nil/empty on flat stores.
+	tree     *binning.Tree
+	nodeOffs []int64
+	nodeLens []int64
+}
+
+// nodeID maps a tree node to its slot in nodeOffs/nodeLens: nodes are
+// numbered level by level from the leaves up.
+func (s *Store) nodeID(n binning.NodeRef) int {
+	id := n.Index
+	for l := 0; l < n.Level; l++ {
+		id += s.tree.LevelWidth(l)
+	}
+	return id
 }
 
 // Build constructs the index and base data on the PFS under prefix,
@@ -113,9 +139,11 @@ func Build(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []
 
 	var index []byte
 	offsets := make([]int64, scheme.NumBins()+1)
+	wahs := make([]*bitmap.WAH, len(plains))
 	for i, pb := range plains {
 		offsets[i] = int64(len(index))
 		w := bitmap.Compress(pb)
+		wahs[i] = w
 		enc, err := w.MarshalBinary()
 		if err != nil {
 			return nil, err
@@ -123,18 +151,68 @@ func Build(fs *pfs.Sim, clk *pfs.Clock, prefix string, shape grid.Shape, data []
 		index = append(index, enc...)
 	}
 	offsets[len(plains)] = int64(len(index))
-	if err := fs.WriteFile(clk, prefix+"/index", index); err != nil {
-		return nil, err
-	}
-	return &Store{
+
+	st := &Store{
 		fs:            fs,
 		prefix:        prefix,
 		shape:         shape,
 		scheme:        scheme,
 		bitmapOffsets: offsets,
-		indexSize:     int64(len(index)),
-	}, nil
+	}
+
+	if cfg.Hierarchical {
+		fanout := cfg.Fanout
+		if fanout == 0 {
+			fanout = 4
+		}
+		tree, err := binning.NewTree(scheme, fanout)
+		if err != nil {
+			return nil, err
+		}
+		st.tree = tree
+		st.nodeOffs = make([]int64, tree.NumNodes())
+		st.nodeLens = make([]int64, tree.NumNodes())
+		// Level 0 aliases the leaf bitmaps already serialized above.
+		for i := 0; i < tree.LevelWidth(0); i++ {
+			st.nodeOffs[i] = offsets[i]
+			st.nodeLens[i] = offsets[i+1] - offsets[i]
+		}
+		// Upper levels OR-aggregate their children; payloads append
+		// after the leaf section, level by level.
+		level := wahs
+		id := tree.LevelWidth(0)
+		for l := 1; l < tree.NumLevels(); l++ {
+			next := make([]*bitmap.WAH, tree.LevelWidth(l))
+			for i := range next {
+				lo, hi := tree.Children(binning.NodeRef{Level: l, Index: i})
+				agg := level[lo]
+				for c := lo + 1; c < hi; c++ {
+					agg = agg.Or(level[c])
+				}
+				next[i] = agg
+				enc, err := agg.MarshalBinary()
+				if err != nil {
+					return nil, err
+				}
+				st.nodeOffs[id] = int64(len(index))
+				st.nodeLens[id] = int64(len(enc))
+				index = append(index, enc...)
+				id++
+			}
+			level = next
+		}
+	}
+
+	if err := fs.WriteFile(clk, prefix+"/index", index); err != nil {
+		return nil, err
+	}
+	st.indexSize = int64(len(index))
+	return st, nil
 }
+
+// Hierarchical reports whether the store carries the super-bin tree
+// section.
+func (s *Store) Hierarchical() bool { return s.tree != nil }
 
 // DataBytes returns the base-data footprint.
 func (s *Store) DataBytes() int64 { return 8 * s.shape.Elems() }
@@ -159,6 +237,9 @@ func (s *Store) Query(req *query.Request, ranks int) (*query.Result, error) {
 	}
 	if ranks < 1 {
 		return nil, fmt.Errorf("fastbit: ranks %d < 1", ranks)
+	}
+	if s.tree != nil && req.VC != nil {
+		return s.queryHier(req, ranks)
 	}
 
 	type rankOut struct {
@@ -281,6 +362,176 @@ func (s *Store) Query(req *query.Request, ranks int) (*query.Result, error) {
 	}
 	res.Sort()
 	return res, nil
+}
+
+// queryHier answers a value-constrained request through the super-bin
+// tree: inside-subtree node bitmaps and boundary-leaf bitmaps are the
+// only index bytes read (coalesced extents instead of the flat path's
+// full index load), fully-outside subtrees cost nothing, and only
+// boundary candidates have their values checked against the VC.
+func (s *Store) queryHier(req *query.Request, ranks int) (*query.Result, error) {
+	sel := s.tree.Select(*req.VC)
+
+	type rankOut struct {
+		matches   []query.Match
+		time      query.Components
+		bytes     int64
+		nodesRead int
+	}
+	outs := make([]rankOut, ranks)
+	clks := s.fs.NewClocks(ranks)
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		clk := clks[c.Rank()]
+		out := &outs[c.Rank()]
+
+		var myNodes []binning.NodeRef
+		for i := c.Rank(); i < len(sel.Inside); i += c.Size() {
+			myNodes = append(myNodes, sel.Inside[i])
+		}
+		var myEdges []int
+		for i := c.Rank(); i < len(sel.Boundary); i += c.Size() {
+			myEdges = append(myEdges, sel.Boundary[i])
+		}
+		if len(myNodes)+len(myEdges) == 0 {
+			return nil
+		}
+		if err := s.fs.Open(clk, s.prefix+"/index"); err != nil {
+			return err
+		}
+		extents := make([][2]int64, 0, len(myNodes)+len(myEdges))
+		for _, n := range myNodes {
+			id := s.nodeID(n)
+			extents = append(extents, [2]int64{s.nodeOffs[id], s.nodeLens[id]})
+		}
+		for _, b := range myEdges {
+			extents = append(extents, [2]int64{s.bitmapOffsets[b], s.bitmapOffsets[b+1] - s.bitmapOffsets[b]})
+		}
+		bytes, ioSec, err := s.readExtents(clk, extents)
+		if err != nil {
+			return err
+		}
+		out.bytes += bytes
+		out.time.IO += ioSec
+
+		// Inside nodes: every set bit satisfies the VC by construction.
+		for _, n := range myNodes {
+			id := s.nodeID(n)
+			raw, err := s.fs.Peek(s.prefix+"/index", s.nodeOffs[id], s.nodeLens[id])
+			if err != nil {
+				return err
+			}
+			var w bitmap.WAH
+			if err := w.UnmarshalBinary(raw); err != nil {
+				return fmt.Errorf("fastbit: node %d bitmap: %w", id, err)
+			}
+			var pending []int64
+			out.time.Decompress += clk.MeasureCPU(func() {
+				bm := w.Decompress()
+				bm.Each(func(i int64) {
+					if req.SC != nil && !s.inRegion(i, req.SC) {
+						return
+					}
+					if req.IndexOnly {
+						out.matches = append(out.matches, query.Match{Index: i})
+						return
+					}
+					pending = append(pending, i)
+				})
+			})
+			if len(pending) > 0 {
+				if err := s.fetchValues(clk, out1{&out.matches, &out.time, &out.bytes}, pending, nil); err != nil {
+					return err
+				}
+			}
+			out.nodesRead++
+		}
+		// Boundary leaves: values must be checked against the VC.
+		for _, b := range myEdges {
+			wah, err := s.loadBitmap(b)
+			if err != nil {
+				return err
+			}
+			var pending []int64
+			out.time.Decompress += clk.MeasureCPU(func() {
+				bm := wah.Decompress()
+				bm.Each(func(i int64) {
+					if req.SC != nil && !s.inRegion(i, req.SC) {
+						return
+					}
+					pending = append(pending, i)
+				})
+			})
+			if len(pending) > 0 {
+				if err := s.fetchValues(clk, out1{&out.matches, &out.time, &out.bytes}, pending, req); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &query.Result{
+		BinsAccessed: len(sel.Boundary) + sel.CoveredLeaves,
+		BinsPruned:   sel.PrunedLeaves,
+		BinsCovered:  sel.CoveredLeaves,
+	}
+	var slowest float64
+	for i := range outs {
+		res.Matches = append(res.Matches, outs[i].matches...)
+		res.BytesRead += outs[i].bytes
+		res.IndexNodesRead += outs[i].nodesRead
+		if t := outs[i].time.Total(); t >= slowest {
+			slowest = t
+			res.Time = outs[i].time
+		}
+	}
+	res.Sort()
+	return res, nil
+}
+
+// readExtents charges the PFS for the given (offset, length) extents of
+// the index file — sorted and merged through the simulator's coalesce
+// gap — and returns the bytes charged plus the elapsed virtual I/O
+// seconds. Payloads are retrieved afterwards with Peek.
+func (s *Store) readExtents(clk *pfs.Clock, extents [][2]int64) (int64, float64, error) {
+	if len(extents) == 0 {
+		return 0, 0, nil
+	}
+	sort.Slice(extents, func(i, j int) bool { return extents[i][0] < extents[j][0] })
+	maxGap := s.fs.CoalesceGap()
+	t0 := clk.Now()
+	var bytes int64
+	runLo, runHi := extents[0][0], extents[0][0]+extents[0][1]
+	flush := func() error {
+		if runHi <= runLo {
+			return nil
+		}
+		if _, err := s.fs.ReadAt(clk, s.prefix+"/index", runLo, runHi-runLo); err != nil {
+			return err
+		}
+		bytes += runHi - runLo
+		return nil
+	}
+	for _, e := range extents[1:] {
+		lo, hi := e[0], e[0]+e[1]
+		if lo <= runHi+maxGap {
+			if hi > runHi {
+				runHi = hi
+			}
+			continue
+		}
+		if err := flush(); err != nil {
+			return 0, 0, err
+		}
+		runLo, runHi = lo, hi
+	}
+	if err := flush(); err != nil {
+		return 0, 0, err
+	}
+	return bytes, clk.Now() - t0, nil
 }
 
 // out1 bundles the per-rank output pointers for fetchValues.

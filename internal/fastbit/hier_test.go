@@ -1,0 +1,107 @@
+package fastbit
+
+import (
+	"math/rand"
+	"testing"
+
+	"mloc/internal/binning"
+	"mloc/internal/datagen"
+	"mloc/internal/grid"
+	"mloc/internal/pfs"
+	"mloc/internal/query"
+)
+
+// buildPair builds a flat and a hierarchical store over the same data.
+func buildPair(t *testing.T, bins int) (flat, hier *Store, data []float64, shape grid.Shape) {
+	t.Helper()
+	d := datagen.GTSLike(64, 64, 7)
+	v, _ := d.Var("phi")
+	fs := pfs.New(pfs.DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.NumBins = bins
+	flat, err := Build(fs, pfs.NewClock(), "fbh/flat", d.Shape, v.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Hierarchical = true
+	hier, err = Build(fs, pfs.NewClock(), "fbh/hier", d.Shape, v.Data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return flat, hier, v.Data, d.Shape
+}
+
+func TestHierarchicalEquivalence(t *testing.T) {
+	flat, hier, data, shape := buildPair(t, 128)
+	if flat.Hierarchical() || !hier.Hierarchical() {
+		t.Fatal("hierarchical flags wrong")
+	}
+	if hier.IndexBytes() <= flat.IndexBytes() {
+		t.Fatalf("hier index %d not larger than flat %d", hier.IndexBytes(), flat.IndexBytes())
+	}
+	lo, hi := data[0], data[0]
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		req := &query.Request{}
+		a := lo + r.Float64()*(hi-lo)
+		b := lo + r.Float64()*(hi-lo)
+		if a > b {
+			a, b = b, a
+		}
+		req.VC = &binning.ValueConstraint{Min: a, Max: b}
+		if r.Intn(2) == 0 {
+			x0, y0 := r.Intn(64), r.Intn(64)
+			req.SC = &grid.Region{Lo: []int{x0, y0}, Hi: []int{x0 + 1 + r.Intn(64-x0), y0 + 1 + r.Intn(64-y0)}}
+		}
+		req.IndexOnly = r.Intn(2) == 0
+		ranks := 1 + r.Intn(4)
+		want, err := flat.Query(req, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := hier.Query(req, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		matchesEqual(t, got.Matches, want.Matches, "hier trial")
+		matchesEqual(t, got.Matches, bruteForce(data, shape, req), "brute trial")
+		if got.BinsPruned+got.BinsCovered+(got.BinsAccessed-got.BinsCovered) > hier.NumBins() {
+			t.Fatalf("trial %d: pruning accounting exceeds bin count: %+v", trial, got)
+		}
+	}
+}
+
+// The hierarchical section must spare the flat path's full-index load:
+// at low selectivity the pruned query reads far fewer index bytes and
+// finishes faster on the virtual clock.
+func TestHierarchicalPrunesIndexLoad(t *testing.T) {
+	flat, hier, data, _ := buildPair(t, 128)
+	lo, hi := datagen.Selectivity(data, 0.10, 3, 4096)
+	req := &query.Request{VC: &binning.ValueConstraint{Min: lo, Max: hi}, IndexOnly: true}
+	fr, err := flat.Query(req, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := hier.Query(req, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, hr.Matches, fr.Matches, "pruned query")
+	if hr.BinsPruned == 0 || hr.IndexNodesRead == 0 {
+		t.Fatalf("no pruning reported: %+v", hr)
+	}
+	if hr.BytesRead >= fr.BytesRead {
+		t.Errorf("hier read %d bytes, flat %d — no index-load saving", hr.BytesRead, fr.BytesRead)
+	}
+	if ht, ft := hr.Time.Total(), fr.Time.Total(); ht >= ft {
+		t.Errorf("hier latency %.6fs not below flat %.6fs", ht, ft)
+	}
+}

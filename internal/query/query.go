@@ -112,6 +112,15 @@ type Result struct {
 	// from a shared decode cache instead of being read and decompressed
 	// again (zero when no cache is attached).
 	CacheHits int
+	// BinsPruned counts leaf bins a hierarchical index ruled out without
+	// reading any index or data bytes (zero for flat scans).
+	BinsPruned int
+	// BinsCovered counts leaf bins answered wholesale from aggregated
+	// super-bin bitmaps instead of per-bin index reads.
+	BinsCovered int
+	// IndexNodesRead counts hierarchical index nodes whose bitmaps were
+	// actually fetched and decoded.
+	IndexNodesRead int
 }
 
 // Sort orders matches by linear index; stores produce deterministic
@@ -142,6 +151,9 @@ func MergeResults(parts []*Result) *Result {
 		merged.BinsAccessed += p.BinsAccessed
 		merged.BlocksRead += p.BlocksRead
 		merged.CacheHits += p.CacheHits
+		merged.BinsPruned += p.BinsPruned
+		merged.BinsCovered += p.BinsCovered
+		merged.IndexNodesRead += p.IndexNodesRead
 	}
 	merged.Sort()
 	return merged

@@ -299,8 +299,13 @@ type ResultWire struct {
 	BlocksRead   int         `json:"blocks_read"`
 	BytesRead    int64       `json:"bytes_read"`
 	CacheHits    int         `json:"cache_hits"`
-	Time         TimeWire    `json:"time"`
-	QueuedMS     float64     `json:"queued_ms"`
+	// BinsPruned, BinsCovered, and IndexNodesRead are the hierarchical
+	// index's pruning factors; all zero (and omitted) on flat scans.
+	BinsPruned     int      `json:"bins_pruned,omitempty"`
+	BinsCovered    int      `json:"bins_covered,omitempty"`
+	IndexNodesRead int      `json:"index_nodes_read,omitempty"`
+	Time           TimeWire `json:"time"`
+	QueuedMS       float64  `json:"queued_ms"`
 	// TraceID names the retained span tree for this query; fetch it at
 	// /debug/traces?id=<TraceID>.
 	TraceID uint64 `json:"trace_id,omitempty"`
@@ -317,10 +322,13 @@ func (r *ResultWire) ToResult() *query.Result {
 			Decompress:  r.Time.Decompress,
 			Reconstruct: r.Time.Reconstruct,
 		},
-		BytesRead:    r.BytesRead,
-		BinsAccessed: r.BinsAccessed,
-		BlocksRead:   r.BlocksRead,
-		CacheHits:    r.CacheHits,
+		BytesRead:      r.BytesRead,
+		BinsAccessed:   r.BinsAccessed,
+		BlocksRead:     r.BlocksRead,
+		CacheHits:      r.CacheHits,
+		BinsPruned:     r.BinsPruned,
+		BinsCovered:    r.BinsCovered,
+		IndexNodesRead: r.IndexNodesRead,
 	}
 	for i, m := range r.Matches {
 		res.Matches[i] = query.Match{Index: m.Index, Value: m.Value}
@@ -440,12 +448,15 @@ func (s *Server) admissionFailure(w http.ResponseWriter, err error) {
 // ones.
 func BuildResult(name string, res *query.Result, maxMatches int, queued time.Duration) ResultWire {
 	out := ResultWire{
-		Var:          name,
-		MatchesTotal: len(res.Matches),
-		BinsAccessed: res.BinsAccessed,
-		BlocksRead:   res.BlocksRead,
-		BytesRead:    res.BytesRead,
-		CacheHits:    res.CacheHits,
+		Var:            name,
+		MatchesTotal:   len(res.Matches),
+		BinsAccessed:   res.BinsAccessed,
+		BlocksRead:     res.BlocksRead,
+		BytesRead:      res.BytesRead,
+		CacheHits:      res.CacheHits,
+		BinsPruned:     res.BinsPruned,
+		BinsCovered:    res.BinsCovered,
+		IndexNodesRead: res.IndexNodesRead,
 		Time: TimeWire{
 			IO:          res.Time.IO,
 			Decompress:  res.Time.Decompress,

@@ -12,9 +12,74 @@
 # PR measures against.
 #
 #   ./scripts/bench_json.sh [output.json]   (default BENCH_build.json)
+#   ./scripts/bench_json.sh query [out]     query-latency mode (default
+#                                           BENCH_query.json): distills
+#                                           BenchmarkQueryLatency — flat
+#                                           vs hierarchical index across
+#                                           selectivities and codecs —
+#                                           with hier speedup vs the
+#                                           flat scan per cell
 #   BENCHTIME=10x ./scripts/bench_json.sh   longer runs for stabler numbers
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "query" ]; then
+	out=${2:-BENCH_query.json}
+	benchtime=${BENCHTIME:-3x}
+	raw=$(mktemp)
+	trap 'rm -f "$raw"' EXIT
+	go test . -run '^$' -bench '^BenchmarkQueryLatency$' \
+		-benchmem -benchtime "$benchtime" | tee "$raw"
+
+	# Result lines look like
+	#   BenchmarkQueryLatency/hier/planes/sel=10%-8  2  1649274 ns/op \
+	#       101.0 bins-covered/op  921.0 bins-pruned/op  0.03972 virt-s/op \
+	#       728776 B/op  1094 allocs/op
+	awk -v benchtime="$benchtime" -v goversion="$(go env GOVERSION)" '
+	/^cpu:/ { cpu = $0; sub(/^cpu: */, "", cpu) }
+	/^BenchmarkQueryLatency\// {
+		split($1, parts, "/")
+		idx = parts[2]
+		codec = parts[3]
+		sel = parts[4]
+		sub(/-[0-9]+$/, "", sel)
+		ns = allocs = bytes = virt = pruned = covered = 0
+		for (i = 2; i < NF; i++) {
+			if ($(i + 1) == "ns/op") ns = $i
+			else if ($(i + 1) == "allocs/op") allocs = $i
+			else if ($(i + 1) == "B/op") bytes = $i
+			else if ($(i + 1) == "virt-s/op") virt = $i
+			else if ($(i + 1) == "bins-pruned/op") pruned = $i
+			else if ($(i + 1) == "bins-covered/op") covered = $i
+		}
+		if (idx == "flat") flatVirt[codec "/" sel] = virt
+		n++
+		ridx[n] = idx; rcodec[n] = codec; rsel[n] = sel
+		rns[n] = ns; rallocs[n] = allocs; rbytes[n] = bytes
+		rvirt[n] = virt; rpruned[n] = pruned; rcovered[n] = covered
+	}
+	END {
+		if (n == 0) { print "bench_json: no query results parsed" > "/dev/stderr"; exit 1 }
+		printf "{\n"
+		printf "  \"benchmark\": \"BenchmarkQueryLatency\",\n"
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"go\": \"%s\",\n", goversion
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"query_latency\": [\n"
+		for (i = 1; i <= n; i++) {
+			fv = flatVirt[rcodec[i] "/" rsel[i]]
+			sp = (fv > 0 && rvirt[i] > 0) ? fv / rvirt[i] : 0
+			printf "    {\"index\": \"%s\", \"codec\": \"%s\", \"sel\": \"%s\", \"ns_op\": %.0f, \"allocs_op\": %.0f, \"bytes_op\": %.0f, \"virt_s_op\": %g, \"bins_pruned\": %.0f, \"bins_covered\": %.0f, \"speedup_vs_flat\": %.3f}%s\n", \
+				ridx[i], rcodec[i], rsel[i], rns[i], rallocs[i], rbytes[i], rvirt[i], rpruned[i], rcovered[i], sp, (i < n ? "," : "")
+		}
+		printf "  ]\n"
+		printf "}\n"
+	}
+	' "$raw" >"$out"
+	echo "wrote $out"
+	exit 0
+fi
+
 out=${1:-BENCH_build.json}
 benchtime=${BENCHTIME:-5x}
 

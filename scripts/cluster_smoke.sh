@@ -97,6 +97,15 @@ if grep -q 'degraded' "$workdir/routed.out"; then
     exit 1
 fi
 
+echo "cluster-smoke: routed index-only query reports pruning stats"
+"$workdir/mlocctl" query -remote "$router" -var t \
+    -vc=-1e30:0 -index-only -ranks 2 -print 0 >"$workdir/pruned.out"
+if ! grep -q 'pruning: .* bins pruned' "$workdir/pruned.out"; then
+    echo "cluster-smoke: FAIL — routed query reported no hierarchical pruning" >&2
+    cat "$workdir/pruned.out" >&2
+    exit 1
+fi
+
 echo "cluster-smoke: topology via mlocctl cluster nodes"
 "$workdir/mlocctl" cluster nodes -remote "$router" >"$workdir/topo.out"
 if ! grep -q 'replication 1' "$workdir/topo.out"; then
