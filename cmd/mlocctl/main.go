@@ -15,7 +15,8 @@
 //	mlocctl run   -dataset gts -side 512 [flags]      # generate inline
 //	mlocctl query -remote HOST:PORT -var NAME [flags] # query a running mlocd
 //	mlocctl stats -remote HOST:PORT                   # mlocd counters, one "key value" per line
-//	mlocctl trace -remote HOST:PORT [-id N]           # retained query traces (span trees)
+//	mlocctl trace -remote HOST:PORT [-id N]           # retained query traces (span trees; routers show grafted per-node subtrees)
+//	mlocctl querylog -remote HOST:PORT [-store M] [-var NAME] [-min-latency D]  # always-on query log, newest first
 //	mlocctl cluster nodes -remote HOST:PORT           # router shard topology and node health
 //	mlocctl cluster fault -remote HOST:PORT -mode kill|delay|corrupt|off [-delay 100ms]
 //
@@ -71,6 +72,8 @@ func main() {
 		err = cmdStats(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "querylog":
+		err = cmdQuerylog(os.Args[2:])
 	case "cluster":
 		err = cmdCluster(os.Args[2:])
 	default:
@@ -84,7 +87,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: mlocctl <gen|run|query|stats|trace|cluster> [flags]   (run `mlocctl <cmd> -h` for flags)")
+	fmt.Fprintln(os.Stderr, "usage: mlocctl <gen|run|query|stats|trace|querylog|cluster> [flags]   (run `mlocctl <cmd> -h` for flags)")
 }
 
 func cmdGen(args []string) error {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"os"
 	"sort"
 	"strconv"
@@ -324,6 +325,65 @@ func cmdTrace(args []string) error {
 		fmt.Printf("trace %d %q: %d spans, %.3fms wall\n", td.ID, td.Name, td.Spans, wall)
 	}
 	fmt.Printf("(render one with -id N)\n")
+	return nil
+}
+
+// cmdQuerylog prints the always-on per-query log a data node or router
+// retains (GET /debug/querylog), newest first. The filter flags are
+// passed through verbatim; the server validates them.
+func cmdQuerylog(args []string) error {
+	fs := flag.NewFlagSet("querylog", flag.ExitOnError)
+	remote := fs.String("remote", "", "mlocd address, e.g. 127.0.0.1:8080")
+	store := fs.String("store", "", "only records for this store mode (col, iso, isa)")
+	varName := fs.String("var", "", "only records for this variable")
+	minLatency := fs.String("min-latency", "", "only records at least this slow (wall clock), e.g. 250ms")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	client, err := newRemoteClient(*remote)
+	if err != nil {
+		return err
+	}
+	params := url.Values{}
+	if *store != "" {
+		params.Set("store", *store)
+	}
+	if *varName != "" {
+		params.Set("var", *varName)
+	}
+	if *minLatency != "" {
+		params.Set("min_latency", *minLatency)
+	}
+	path := "/debug/querylog"
+	if len(params) > 0 {
+		path += "?" + params.Encode()
+	}
+	var recs []obs.QueryRecord
+	if err := client.getJSON(path, &recs); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Println("no query records retained (or none match the filter)")
+		return nil
+	}
+	for _, r := range recs {
+		line := fmt.Sprintf("#%d %s var=%s store=%s sel=%s %s wall=%.3fms virt=%.6fs",
+			r.Seq, time.UnixMilli(r.UnixMS).UTC().Format(time.RFC3339),
+			r.Var, r.Store, r.Selectivity, r.Outcome, r.WallMS, r.VirtS)
+		line += fmt.Sprintf(" matches=%d pruned=%d covered=%d cache=%d/%d bytes=%d queue=%.3fms",
+			r.Matches, r.BinsPruned, r.BinsCovered, r.CacheHits, r.CacheHits+r.CacheMisses,
+			r.BytesDecoded, r.QueueWaitMS)
+		if r.Shards > 0 {
+			line += fmt.Sprintf(" shards=%d", r.Shards)
+		}
+		if r.Degraded {
+			line += " DEGRADED"
+		}
+		if r.TraceID != 0 {
+			line += fmt.Sprintf(" trace=%d", r.TraceID)
+		}
+		fmt.Println(line)
+	}
 	return nil
 }
 

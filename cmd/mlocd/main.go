@@ -29,8 +29,9 @@
 //	GET  /stats         flat JSON counters (admission, outcomes, cache | routing)
 //	GET  /vars          served variables with shapes
 //	GET  /healthz       readiness (503 while draining)
-//	GET  /metrics       Prometheus text exposition
+//	GET  /metrics       Prometheus text exposition (SLO counters, exemplar trace ids)
 //	GET  /debug/traces  retained span trees, newest first (?id=N for one)
+//	GET  /debug/querylog  always-on per-query log, newest first (?store= ?var= ?min_latency=)
 //	GET  /debug/pprof/  Go runtime profiles (only with -pprof)
 //	GET|POST /cluster/fault   data nodes: fault-injection admin (mlocctl cluster fault)
 //	GET  /cluster/nodes       router: shard topology and per-node health
@@ -109,6 +110,8 @@ func run(args []string) error {
 	pprofOn := fs.Bool("pprof", false, "serve Go runtime profiles under /debug/pprof/")
 	slowQuery := fs.Duration("slow-query-threshold", 0, "log queries slower than this wall-clock duration (0 disables)")
 	traceBuffer := fs.Int("trace-buffer", obs.DefaultTraceCapacity, "query traces retained for /debug/traces")
+	sloStr := fs.String("slo", obs.DefaultSLOObjectives, "comma-separated latency objectives behind the mloc_slo_query_* counters, e.g. 100ms,1s")
+	querylogBuffer := fs.Int("querylog-buffer", obs.DefaultQueryLogCapacity, "query records retained for /debug/querylog")
 	var nodes stringList
 	fs.Var(&nodes, "node", "data-node address host:port (repeatable; router role)")
 	replication := fs.Int("replication", 2, "data nodes owning each shard (router role)")
@@ -117,8 +120,13 @@ func run(args []string) error {
 	shardTimeout := fs.Duration("shard-timeout", 10*time.Second, "per-shard sub-query budget including retries (router role)")
 	hedgeAfter := fs.Duration("hedge-after", 250*time.Millisecond, "launch a replica hedge when a shard is this slow; 0 disables (router role)")
 	healthInterval := fs.Duration("health-interval", time.Second, "data-node health probe interval (router role)")
+	noPropagation := fs.Bool("no-trace-propagation", false, "do not graft data-node span subtrees into router traces (router role)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	sloObjectives, err := obs.ParseSLOObjectives(*sloStr)
+	if err != nil {
+		return fmt.Errorf("bad -slo: %w", err)
 	}
 	switch *role {
 	case "router":
@@ -137,6 +145,9 @@ func run(args []string) error {
 			maxMatches:     *maxMatches,
 			drainTimeout:   *drainTimeout,
 			traceBuffer:    *traceBuffer,
+			sloObjectives:  sloObjectives,
+			querylogBuffer: *querylogBuffer,
+			noPropagation:  *noPropagation,
 			pprofOn:        *pprofOn,
 		})
 	case "data":
@@ -186,6 +197,8 @@ func run(args []string) error {
 		Registry:           reg,
 		Tracer:             tracer,
 		SlowQueryThreshold: *slowQuery,
+		SLOObjectives:      sloObjectives,
+		QueryLogCapacity:   *querylogBuffer,
 	})
 	if err != nil {
 		return err
@@ -230,6 +243,9 @@ type routerOpts struct {
 	maxMatches     int
 	drainTimeout   time.Duration
 	traceBuffer    int
+	sloObjectives  []time.Duration
+	querylogBuffer int
+	noPropagation  bool
 	pprofOn        bool
 }
 
@@ -264,6 +280,10 @@ func runRouter(o routerOpts) error {
 		Health:       hc,
 		Registry:     reg,
 		Tracer:       tracer,
+
+		SLOObjectives:           o.sloObjectives,
+		QueryLogCapacity:        o.querylogBuffer,
+		DisableTracePropagation: o.noPropagation,
 	})
 	if err != nil {
 		stopHealth()

@@ -1,7 +1,10 @@
 // Command mloclint validates MLOC observability output the way
 // promtool's check subcommands would, without external dependencies:
 // it verifies /metrics is well-formed Prometheus text exposition whose
-// base names match ^mloc_[a-z_]+$ with no duplicate samples, and that
+// base names match ^mloc_[a-z_]+$ with no duplicate samples (including
+// the exemplar trailers on histogram buckets), that the mloc_slo_*
+// counter families are coherent (objective labels parse as durations
+// and the ok/breach families cover identical objective sets), and that
 // /debug/traces serves decodable span trees.
 //
 // Usage:
@@ -79,8 +82,59 @@ func lintExposition(payload string) error {
 	if len(problems) != 0 {
 		return fmt.Errorf("%d exposition problem(s)", len(problems))
 	}
+	if err := lintSLO(payload); err != nil {
+		return err
+	}
 	families, samples := countExposition(payload)
 	fmt.Printf("mloclint: exposition ok (%d families, %d samples)\n", families, samples)
+	return nil
+}
+
+// lintSLO validates the mloc_slo_query_{ok,breach}_total families when
+// present: every sample must carry exactly one objective label whose
+// value parses as a Go duration, and both families must expose the
+// same objective set — a missing counterpart means an SLO was
+// registered half-way.
+func lintSLO(payload string) error {
+	objectives := map[string]map[string]bool{}
+	for _, line := range strings.Split(payload, "\n") {
+		if !strings.HasPrefix(line, "mloc_slo_query_") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, rest, ok := strings.Cut(line, "{")
+		if !ok {
+			return fmt.Errorf("slo sample %q has no objective label", line)
+		}
+		labels, _, ok := strings.Cut(rest, "}")
+		if !ok {
+			return fmt.Errorf("slo sample %q has an unterminated label block", line)
+		}
+		obj, ok := strings.CutPrefix(labels, `objective="`)
+		obj, ok2 := strings.CutSuffix(obj, `"`)
+		if !ok || !ok2 || strings.Contains(obj, `"`) {
+			return fmt.Errorf("slo sample %q: want exactly the objective label", line)
+		}
+		if _, err := time.ParseDuration(obj); err != nil {
+			return fmt.Errorf("slo objective %q is not a duration: %v", obj, err)
+		}
+		if objectives[name] == nil {
+			objectives[name] = map[string]bool{}
+		}
+		objectives[name][obj] = true
+	}
+	if len(objectives) == 0 {
+		return nil
+	}
+	ok, breach := objectives["mloc_slo_query_ok_total"], objectives["mloc_slo_query_breach_total"]
+	if len(ok) != len(breach) {
+		return fmt.Errorf("slo families diverge: %d ok objectives vs %d breach objectives", len(ok), len(breach))
+	}
+	for obj := range ok {
+		if !breach[obj] {
+			return fmt.Errorf("slo objective %q has an ok counter but no breach counter", obj)
+		}
+	}
+	fmt.Printf("mloclint: slo ok (%d objectives)\n", len(ok))
 	return nil
 }
 

@@ -22,6 +22,35 @@ func TestLintExpositionRejectsMalformed(t *testing.T) {
 	}
 }
 
+func TestLintSLO(t *testing.T) {
+	head := func(name string) string {
+		return "# HELP " + name + " X.\n# TYPE " + name + " counter\n"
+	}
+	okFam, brFam := "mloc_slo_query_ok_total", "mloc_slo_query_breach_total"
+	good := head(okFam) + okFam + `{objective="100ms"} 1` + "\n" +
+		head(brFam) + brFam + `{objective="100ms"} 2` + "\n"
+	if err := lintExposition(good); err != nil {
+		t.Errorf("valid slo exposition rejected: %v", err)
+	}
+	if err := lintExposition("# HELP mloc_x_total X.\n# TYPE mloc_x_total counter\nmloc_x_total 1\n"); err != nil {
+		t.Errorf("exposition without slo families rejected: %v", err)
+	}
+	bad := map[string]string{
+		"objective not a duration": head(okFam) + okFam + `{objective="fast"} 1` + "\n" +
+			head(brFam) + brFam + `{objective="fast"} 1` + "\n",
+		"missing breach counterpart": head(okFam) + okFam + `{objective="100ms"} 1` + "\n",
+		"diverging objective sets": head(okFam) + okFam + `{objective="100ms"} 1` + "\n" +
+			head(brFam) + brFam + `{objective="1s"} 1` + "\n",
+		"wrong label": head(okFam) + okFam + `{node="a"} 1` + "\n" +
+			head(brFam) + brFam + `{node="a"} 1` + "\n",
+	}
+	for name, payload := range bad {
+		if err := lintExposition(payload); err == nil {
+			t.Errorf("%s accepted:\n%s", name, payload)
+		}
+	}
+}
+
 func TestRunFileMode(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "exp.txt")
 	if err := os.WriteFile(path, []byte("# TYPE mloc_x_total counter\nmloc_x_total notanumber\n"), 0o644); err != nil {

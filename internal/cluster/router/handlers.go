@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
+	"mloc/internal/obs"
 	"mloc/internal/query"
 	"mloc/internal/server"
 )
@@ -19,6 +21,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("/healthz", rt.counted("healthz", rt.handleHealthz))
 	mux.HandleFunc("/metrics", rt.counted("metrics", rt.handleMetrics))
 	mux.HandleFunc("/debug/traces", rt.counted("traces", rt.handleTraces))
+	mux.HandleFunc("/debug/querylog", rt.counted("querylog", rt.handleQueryLog))
 	mux.HandleFunc("/cluster/nodes", rt.counted("nodes", rt.handleNodes))
 	return mux
 }
@@ -66,6 +69,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		server.WriteError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	start := time.Now()
 	rt.queries.Inc()
 	if rt.draining.Load() {
 		rt.outcomes[outcomeRejected].Inc()
@@ -93,6 +97,7 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	remoteTrace := r.Header.Get(obs.TraceHeader) != ""
 	ctx, root := rt.cfg.Tracer.StartTrace(r.Context(), "route")
 	defer root.End()
 	root.SetString("var", wire.Var)
@@ -129,6 +134,8 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if len(outcomes) > 0 && failed == len(outcomes) {
 		rt.outcomes[outcomeFailed].Inc()
 		root.SetBool("failed", true)
+		rt.recordQuery(wire.Var, vi, nil, len(outcomes), true, 0,
+			time.Since(start), root.TraceID(), "error")
 		server.WriteError(w, http.StatusBadGateway,
 			fmt.Sprintf("all %d shards failed; first: %s", failed, details[0].Error))
 		return
@@ -145,6 +152,11 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	out.Truncated = out.Truncated || truncated
 	out.TraceID = root.TraceID()
 	root.SetInt("matches", int64(out.MatchesTotal))
+	// The grafted remote subtrees carry the per-node cost detail; the
+	// root carries the merged (cross-shard MaxWith) virtual total — the
+	// simulated latency the client is actually billed, since shards ran
+	// concurrently.
+	root.AddVirt(merged.Time.Total())
 	if failed > 0 {
 		rt.partials.Inc()
 		rt.outcomes[outcomeDegraded].Inc()
@@ -154,7 +166,74 @@ func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		rt.outcomes[outcomeOK].Inc()
 	}
+	wall := time.Since(start)
+	// The tree must be complete before it is serialized or logged; the
+	// deferred End above becomes a no-op.
+	root.End()
+	if remoteTrace {
+		if td, ok := rt.cfg.Tracer.DumpByID(out.TraceID); ok {
+			if data, err := obs.EncodeTraceWire(td, obs.DefaultMaxWireBytes); err != nil {
+				// Oversized trees are dropped whole, never truncated.
+				rt.cfg.Logf("router: trace %d not attached to response: %v", out.TraceID, err)
+			} else {
+				out.Trace = data
+			}
+		}
+	}
+	rt.recordQuery(wire.Var, vi, merged, len(outcomes), failed > 0,
+		out.MatchesTotal, wall, out.TraceID, "ok")
 	server.WriteJSON(w, http.StatusOK, out)
+}
+
+// recordQuery feeds one finished routed query into the always-on query
+// log, the SLO counters, and the latency histogram (whose bucket keeps
+// the trace id as its exemplar). merged is nil when every shard failed.
+func (rt *Router) recordQuery(name string, vi *varInfo, merged *query.Result,
+	shards int, degraded bool, matches int, wall time.Duration, traceID uint64, outcome string) {
+	rec := obs.QueryRecord{
+		Store:       vi.mode,
+		Var:         name,
+		Selectivity: "unknown",
+		Outcome:     outcome,
+		Shards:      shards,
+		Degraded:    degraded,
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		TraceID:     traceID,
+	}
+	if merged != nil {
+		var domain int64 = 1
+		for _, d := range vi.shape {
+			domain *= int64(d)
+		}
+		rec.Selectivity = obs.SelectivityClass(matches, domain)
+		rec.Matches = matches
+		rec.BinsPruned = merged.BinsPruned
+		rec.BinsCovered = merged.BinsCovered
+		rec.CacheHits = merged.CacheHits
+		rec.CacheMisses = merged.BlocksRead
+		rec.BytesDecoded = merged.BytesRead
+		rec.VirtS = merged.Time.Total()
+	}
+	rt.qlog.Append(rec)
+	rt.slo.Observe(wall)
+	rt.queryLatency.ObserveExemplar(wall.Seconds(), traceID)
+}
+
+// handleQueryLog serves the router's query log, newest first,
+// filterable with ?store=, ?var=, and ?min_latency= — the same
+// contract as the data-node endpoint.
+func (rt *Router) handleQueryLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		server.WriteError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	f, err := server.ParseQueryLogFilter(r.URL.Query())
+	if err != nil {
+		server.WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	server.WriteJSONIndent(w, http.StatusOK, rt.qlog.Snapshot(f))
 }
 
 func (rt *Router) handleVars(w http.ResponseWriter, r *http.Request) {

@@ -81,6 +81,16 @@ type Config struct {
 	// Tracer retains per-query fan-out traces for GET /debug/traces.
 	// New creates one with the default capacity when nil.
 	Tracer *obs.Tracer
+	// SLOObjectives are the latency objectives behind the
+	// mloc_slo_query_* counters (default obs.DefaultSLOObjectives).
+	SLOObjectives []time.Duration
+	// QueryLogCapacity bounds the /debug/querylog ring (default
+	// obs.DefaultQueryLogCapacity).
+	QueryLogCapacity int
+	// DisableTracePropagation stops the router from asking data nodes
+	// for their span subtrees; shard spans then stay leaf-only. The
+	// zero value propagates, matching the always-on tracing posture.
+	DisableTracePropagation bool
 	// Logf receives routing log lines (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -125,6 +135,13 @@ func (c *Config) normalize() error {
 	if c.Tracer == nil {
 		c.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
 	}
+	if c.SLOObjectives == nil {
+		objs, err := obs.ParseSLOObjectives(obs.DefaultSLOObjectives)
+		if err != nil {
+			return fmt.Errorf("router: default slo objectives: %w", err)
+		}
+		c.SLOObjectives = objs
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -167,6 +184,13 @@ type Router struct {
 	shardErrors  map[string]*obs.Counter
 	shardLatency map[string]*obs.Histogram
 	requests     map[string]*obs.Counter
+
+	qlog         *obs.QueryLog
+	slo          *obs.SLO
+	queryLatency *obs.Histogram
+	grafts       *obs.Counter
+	graftDrops   *obs.Counter
+	graftErrors  *obs.Counter
 }
 
 // outcome classes of mloc_cluster_query_outcomes_total.
@@ -190,7 +214,12 @@ func New(cfg Config) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
-	rt := &Router{cfg: cfg, smap: smap, vars: make(map[string]*varInfo)}
+	rt := &Router{
+		cfg:  cfg,
+		smap: smap,
+		vars: make(map[string]*varInfo),
+		qlog: obs.NewQueryLog(cfg.QueryLogCapacity),
+	}
 	rt.instrument()
 	return rt, nil
 }
@@ -233,10 +262,20 @@ func (rt *Router) instrument() {
 			obs.DefSecondsBuckets(), obs.L("node", n))
 	}
 	rt.requests = make(map[string]*obs.Counter)
-	for _, ep := range []string{"query", "stats", "vars", "healthz", "metrics", "traces", "nodes"} {
+	for _, ep := range []string{"query", "stats", "vars", "healthz", "metrics", "traces", "querylog", "nodes"} {
 		rt.requests[ep] = reg.Counter("mloc_cluster_requests_total",
 			"Router HTTP requests by endpoint.", obs.L("endpoint", ep))
 	}
+	rt.queryLatency = reg.Histogram("mloc_cluster_query_latency_seconds",
+		"End-to-end routed query wall latency; buckets carry exemplar trace ids.",
+		obs.DefSecondsBuckets())
+	rt.slo = obs.NewSLO(reg, rt.cfg.SLOObjectives)
+	rt.grafts = reg.Counter("mloc_cluster_trace_grafts_total",
+		"Remote span subtrees grafted into router traces.")
+	rt.graftDrops = reg.Counter("mloc_cluster_trace_graft_dropped_spans_total",
+		"Remote spans dropped while grafting (trace span cap, or drops the node itself reported).")
+	rt.graftErrors = reg.Counter("mloc_cluster_trace_graft_errors_total",
+		"Remote trace payloads rejected as oversized or undecodable.")
 }
 
 // Bootstrap learns the topology: it fetches /vars from every data node
@@ -367,6 +406,9 @@ func (rt *Router) SetDraining(on bool) { rt.draining.Store(on) }
 
 // Registry returns the metrics registry backing /metrics.
 func (rt *Router) Registry() *obs.Registry { return rt.cfg.Registry }
+
+// QueryLog returns the always-on query log backing /debug/querylog.
+func (rt *Router) QueryLog() *obs.QueryLog { return rt.qlog }
 
 // Vars returns the variable names learned at bootstrap, sorted.
 func (rt *Router) Vars() []string { return append([]string(nil), rt.varNames...) }

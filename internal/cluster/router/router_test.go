@@ -22,7 +22,7 @@ import (
 
 // buildStore builds one small deterministic store; the same seed yields
 // a bit-identical store on every "node".
-func buildStore(t *testing.T, seed int64) *core.Store {
+func buildStore(t testing.TB, seed int64) *core.Store {
 	t.Helper()
 	d := datagen.GTSLike(32, 32, seed)
 	v, err := d.Var("phi")
@@ -48,7 +48,7 @@ type dataNode struct {
 	addr string
 }
 
-func startDataNode(t *testing.T, stores map[string]*core.Store) *dataNode {
+func startDataNode(t testing.TB, stores map[string]*core.Store) *dataNode {
 	t.Helper()
 	s, err := server.New(server.Config{Stores: stores})
 	if err != nil {
@@ -61,7 +61,7 @@ func startDataNode(t *testing.T, stores map[string]*core.Store) *dataNode {
 }
 
 // startCluster launches n identically-built data nodes.
-func startCluster(t *testing.T, n int) []*dataNode {
+func startCluster(t testing.TB, n int) []*dataNode {
 	t.Helper()
 	nodes := make([]*dataNode, n)
 	for i := range nodes {
@@ -73,7 +73,7 @@ func startCluster(t *testing.T, n int) []*dataNode {
 	return nodes
 }
 
-func startRouter(t *testing.T, nodes []*dataNode, mutate func(*Config)) (*Router, *httptest.Server) {
+func startRouter(t testing.TB, nodes []*dataNode, mutate func(*Config)) (*Router, *httptest.Server) {
 	t.Helper()
 	addrs := make([]string, len(nodes))
 	for i, n := range nodes {

@@ -162,7 +162,8 @@ func (rt *Router) callShard(ctx context.Context, call *shardCall) shardOutcome {
 	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ShardTimeout)
 	defer cancel()
 	_, sp := obs.StartSpan(ctx, "shard")
-	out := rt.raceReplicas(ctx, call)
+	traced := sp != nil && !rt.cfg.DisableTracePropagation
+	out := rt.raceReplicas(ctx, call, traced)
 	if sp != nil {
 		sp.SetString("rows", fmt.Sprintf("[%d,%d)", call.lo, call.hi))
 		sp.SetBool("hedged", out.hedged)
@@ -172,14 +173,40 @@ func (rt *Router) callShard(ctx context.Context, call *shardCall) shardOutcome {
 		} else {
 			sp.SetString("node", out.node)
 			sp.SetInt("matches", int64(out.res.MatchesTotal))
+			rt.graftRemote(sp, out.res, out.node)
 		}
 		sp.End()
 	}
 	return out
 }
 
+// graftRemote splices the data node's span subtree, if the response
+// carried one, under the shard span that issued the call, tagged with
+// the answering node's address. Undecodable or oversized payloads are
+// dropped (and counted), never trusted: the wire decoder bounds bytes
+// and depth before a single remote span is allocated.
+func (rt *Router) graftRemote(sp *obs.Span, res *server.ResultWire, node string) {
+	if len(res.Trace) == 0 {
+		return
+	}
+	tw, err := obs.DecodeTraceWire(res.Trace, obs.DefaultMaxWireBytes)
+	if err != nil {
+		rt.graftErrors.Inc()
+		rt.cfg.Logf("router: dropping span subtree from %s: %v", node, err)
+		return
+	}
+	_, dropped := sp.GraftWire(tw, node)
+	rt.grafts.Inc()
+	if dropped > 0 {
+		rt.graftDrops.Add(dropped)
+	}
+	// The subtree now lives in the router's trace; the raw payload must
+	// not be re-serialized into the merged client response.
+	res.Trace = nil
+}
+
 // raceReplicas is the hedging/failover loop of callShard.
-func (rt *Router) raceReplicas(ctx context.Context, call *shardCall) shardOutcome {
+func (rt *Router) raceReplicas(ctx context.Context, call *shardCall, traced bool) shardOutcome {
 	start := time.Now()
 	out := shardOutcome{call: call}
 	// Buffered to the replica count: a launched goroutine can always
@@ -187,7 +214,7 @@ func (rt *Router) raceReplicas(ctx context.Context, call *shardCall) shardOutcom
 	results := make(chan attempt, len(call.replicas))
 	launch := func(node string) {
 		go func() { //mlocvet:ignore spmd-goroutine -- replica attempt; exits via the buffered results channel even when it loses the race
-			res, err := rt.post(ctx, node, call.body)
+			res, err := rt.post(ctx, node, call.body, traced)
 			results <- attempt{node: node, res: res, err: err}
 		}()
 	}
@@ -268,13 +295,19 @@ func (rt *Router) noteFailure(node string, err error) {
 // post sends one sub-query to a data node and decodes the response.
 // Any transport error, non-200 status, or undecodable (corrupt) body
 // is a shard failure the caller handles via failover.
-func (rt *Router) post(ctx context.Context, node string, body []byte) (*server.ResultWire, error) {
+func (rt *Router) post(ctx context.Context, node string, body []byte, traced bool) (*server.ResultWire, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		health.BaseURL(node)+"/query", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if traced {
+		// Presence is the signal: any non-empty value asks the node to
+		// attach its completed span subtree to the response envelope.
+		// Trace ids are per-process, so none travels with the request.
+		req.Header.Set(obs.TraceHeader, "1")
+	}
 	resp, err := rt.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err

@@ -105,7 +105,7 @@ func Lint(payload string, enforceRepoNames bool) []LintProblem {
 			continue // other comments are legal and ignored
 		}
 
-		name, labels, valueStr, err := splitSample(line)
+		name, labels, valueStr, trailer, err := splitSample(line)
 		if err != nil {
 			add(ln, "%v", err)
 			continue
@@ -143,6 +143,11 @@ func Lint(payload string, enforceRepoNames bool) []LintProblem {
 		if err != nil {
 			add(ln, "%s: %v", name, err)
 			continue
+		}
+		if trailer != "" {
+			if terr := lintTrailer(trailer, suffix == "_bucket", le); terr != nil {
+				add(ln, "%s: %v", name, terr)
+			}
 		}
 		key := name + sortedSig + "|le=" + le
 		if first, dup := seen[key]; dup {
@@ -236,9 +241,11 @@ func histBase(name string) (base, suffix string) {
 	return name, ""
 }
 
-// splitSample parses `name{labels} value` into its parts, validating
-// name and label syntax.
-func splitSample(line string) (name string, labels []Label, value string, err error) {
+// splitSample parses `name{labels} value [trailer]` into its parts,
+// validating name and label syntax. The trailer (everything after the
+// value token, trimmed) carries either a timestamp or an exemplar
+// annotation; the caller validates it.
+func splitSample(line string) (name string, labels []Label, value, trailer string, err error) {
 	i := 0
 	for i < len(line) {
 		c := line[i]
@@ -246,33 +253,75 @@ func splitSample(line string) (name string, labels []Label, value string, err er
 			break
 		}
 		if !isNameChar(c, i == 0) {
-			return "", nil, "", fmt.Errorf("bad metric name character %q", c) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
+			return "", nil, "", "", fmt.Errorf("bad metric name character %q", c) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 		}
 		i++
 	}
 	if i == 0 {
-		return "", nil, "", fmt.Errorf("empty metric name") //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
+		return "", nil, "", "", fmt.Errorf("empty metric name") //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 	}
 	name = line[:i]
 	rest := line[i:]
 	if strings.HasPrefix(rest, "{") {
 		end, ls, perr := parseLabels(rest)
 		if perr != nil {
-			return "", nil, "", perr
+			return "", nil, "", "", perr
 		}
 		labels = ls
 		rest = rest[end:]
 	}
 	rest = strings.TrimLeft(rest, " ")
 	if rest == "" {
-		return "", nil, "", fmt.Errorf("sample %s has no value", name) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
+		return "", nil, "", "", fmt.Errorf("sample %s has no value", name) //mlocvet:ignore errprefix -- parse errors are wrapped with the obs prefix by the exported Lint entry point
 	}
-	// A timestamp after the value is legal in the format; this repo
-	// never emits one, but tolerate it.
 	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		trailer = strings.TrimLeft(rest[sp+1:], " ")
 		rest = rest[:sp]
 	}
-	return name, labels, rest, nil
+	return name, labels, rest, trailer, nil
+}
+
+// lintTrailer validates what follows a sample value: a bare integer
+// timestamp (legal in the format, never emitted by this repo) or an
+// exemplar annotation `# {trace_id="N"} value`, which is only legal on
+// histogram _bucket lines and whose value must fall inside the bucket.
+func lintTrailer(trailer string, isBucket bool, le string) error {
+	if !strings.HasPrefix(trailer, "#") {
+		if _, err := strconv.ParseInt(trailer, 10, 64); err != nil {
+			return fmt.Errorf("trailing %q is neither a timestamp nor an exemplar", trailer) //mlocvet:ignore errprefix -- lint findings are reported verbatim per line, not wrapped errors
+		}
+		return nil
+	}
+	if !isBucket {
+		return fmt.Errorf("exemplar on a non-bucket sample") //mlocvet:ignore errprefix -- lint findings are reported verbatim per line, not wrapped errors
+	}
+	rest := strings.TrimLeft(trailer[1:], " ")
+	if !strings.HasPrefix(rest, "{") {
+		return fmt.Errorf("exemplar missing label block") //mlocvet:ignore errprefix -- lint findings are reported verbatim per line, not wrapped errors
+	}
+	end, labels, err := parseLabels(rest)
+	if err != nil {
+		return fmt.Errorf("exemplar labels: %v", err) //mlocvet:ignore errprefix -- lint findings are reported verbatim per line, not wrapped errors
+	}
+	if len(labels) != 1 || labels[0].Key != "trace_id" {
+		return fmt.Errorf("exemplar must carry exactly a trace_id label") //mlocvet:ignore errprefix -- lint findings are reported verbatim per line, not wrapped errors
+	}
+	if _, err := strconv.ParseUint(labels[0].Value, 10, 64); err != nil {
+		return fmt.Errorf("exemplar trace_id %q is not an unsigned integer", labels[0].Value) //mlocvet:ignore errprefix -- lint findings are reported verbatim per line, not wrapped errors
+	}
+	valStr := strings.TrimSpace(rest[end:])
+	if valStr == "" {
+		return fmt.Errorf("exemplar has no value") //mlocvet:ignore errprefix -- lint findings are reported verbatim per line, not wrapped errors
+	}
+	v, err := parseValue(valStr)
+	if err != nil {
+		return fmt.Errorf("exemplar value %q does not parse", valStr) //mlocvet:ignore errprefix -- lint findings are reported verbatim per line, not wrapped errors
+	}
+	bound, err := parseValue(le)
+	if err == nil && v > bound {
+		return fmt.Errorf("exemplar value %s above bucket le %s", valStr, le) //mlocvet:ignore errprefix -- lint findings are reported verbatim per line, not wrapped errors
+	}
+	return nil
 }
 
 // isNameChar reports whether c may appear in a metric name at the given

@@ -110,6 +110,16 @@ type Histogram struct {
 	bounds  []float64      // ascending upper bounds, excluding +Inf
 	counts  []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
 	sumBits atomic.Uint64
+	// exemplars[i] is the most recent exemplar-annotated observation
+	// that landed in bucket i — the breadcrumb from a slow bucket
+	// straight to a representative trace in /debug/traces.
+	exemplars []atomic.Pointer[exemplar]
+}
+
+// exemplar links one observed value to the trace that produced it.
+type exemplar struct {
+	value   float64
+	traceID uint64
 }
 
 // Observe records one value.
@@ -124,6 +134,19 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records one value and, when traceID is non-zero,
+// remembers it as the bucket's exemplar: the exposition annotates
+// that bucket's line with the trace id, so a scrape showing a slow
+// bucket points straight at a trace explaining it.
+func (h *Histogram) ObserveExemplar(v float64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.exemplars[i].Store(&exemplar{value: v, traceID: traceID})
 }
 
 // Count returns the total number of observations (the sum of all
@@ -347,7 +370,11 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 	r.mu.RLock()
 	shared := r.families[name].bounds
 	r.mu.RUnlock()
-	h := &Histogram{bounds: shared, counts: make([]atomic.Int64, len(shared)+1)}
+	h := &Histogram{
+		bounds:    shared,
+		counts:    make([]atomic.Int64, len(shared)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(shared)+1),
+	}
 	s.hist = h
 	return h
 }
@@ -465,7 +492,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // writeHistogramSeries renders one histogram series: cumulative
 // _bucket lines (le label appended last), then _sum and _count. The
 // bucket counts are snapshotted once so the cumulative sequence and
-// _count agree even while observations race the scrape.
+// _count agree even while observations race the scrape. Buckets with
+// a recorded exemplar carry an OpenMetrics-style annotation after the
+// count: `# {trace_id="7"} 0.042`.
 func writeHistogramSeries(sb *strings.Builder, name string, s *series) {
 	h := s.hist
 	snap := make([]int64, len(h.counts))
@@ -475,12 +504,21 @@ func writeHistogramSeries(sb *strings.Builder, name string, s *series) {
 	var cum int64
 	for i, bound := range h.bounds {
 		cum += snap[i]
-		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, sigWithLE(s.sig, formatValue(bound)), cum)
+		fmt.Fprintf(sb, "%s_bucket%s %d%s\n", name, sigWithLE(s.sig, formatValue(bound)), cum, exemplarSuffix(h, i))
 	}
 	cum += snap[len(snap)-1]
-	fmt.Fprintf(sb, "%s_bucket%s %d\n", name, sigWithLE(s.sig, "+Inf"), cum)
+	fmt.Fprintf(sb, "%s_bucket%s %d%s\n", name, sigWithLE(s.sig, "+Inf"), cum, exemplarSuffix(h, len(snap)-1))
 	fmt.Fprintf(sb, "%s_sum%s %s\n", name, s.sig, formatValue(h.Sum()))
 	fmt.Fprintf(sb, "%s_count%s %d\n", name, s.sig, cum)
+}
+
+// exemplarSuffix renders bucket i's exemplar annotation, or "".
+func exemplarSuffix(h *Histogram, i int) string {
+	ex := h.exemplars[i].Load()
+	if ex == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=\"%d\"} %s", ex.traceID, formatValue(ex.value))
 }
 
 // sigWithLE appends the le bucket label to a series signature.

@@ -46,6 +46,13 @@ type Tracer struct {
 	next int
 	n    int
 	seq  uint64
+	// open holds traces whose root span has not ended yet, so
+	// DumpByID can render a consistent partial tree mid-flight (a
+	// routed query whose shard subtrees are not yet grafted). Entries
+	// move to the ring when the root ends; instrumentation that never
+	// ends its root leaks its entry, which is the same bug an
+	// UNENDED span in a dump flags.
+	open map[uint64]*Trace
 }
 
 // NewTracer returns a tracer retaining the last capacity completed
@@ -54,7 +61,7 @@ func NewTracer(capacity int) *Tracer {
 	if capacity <= 0 {
 		capacity = DefaultTraceCapacity
 	}
-	return &Tracer{ring: make([]*Trace, capacity), maxSpans: DefaultMaxSpans}
+	return &Tracer{ring: make([]*Trace, capacity), maxSpans: DefaultMaxSpans, open: make(map[uint64]*Trace)}
 }
 
 // SetMaxSpans overrides the per-trace span bound (before use).
@@ -124,6 +131,9 @@ func (t *Tracer) StartTrace(ctx context.Context, name string) (context.Context, 
 	root := &Span{name: name, trace: tr, start: time.Now()}
 	tr.root = root
 	tr.spans.Store(1)
+	t.mu.Lock()
+	t.open[tr.id] = tr
+	t.mu.Unlock()
 	return ContextWithSpan(ctx, root), root
 }
 
@@ -268,6 +278,7 @@ func (s *Span) End() {
 // oldest when full.
 func (t *Tracer) retain(tr *Trace) {
 	t.mu.Lock()
+	delete(t.open, tr.id)
 	t.ring[t.next] = tr
 	t.next = (t.next + 1) % len(t.ring)
 	if t.n < len(t.ring) {
@@ -309,6 +320,16 @@ type TraceDump struct {
 	Dropped int64 `json:"dropped,omitempty"`
 	// Root is the span tree.
 	Root *SpanDump `json:"root"`
+}
+
+// Dump snapshots the span's subtree as a SpanDump — the hook servers
+// use to embed a completed query tree in a response envelope (nil for
+// the nil span).
+func (s *Span) Dump() *SpanDump {
+	if s == nil {
+		return nil
+	}
+	return s.dump()
 }
 
 // dump snapshots a span subtree.
@@ -360,7 +381,11 @@ func (t *Tracer) Dump() []TraceDump {
 	return out
 }
 
-// DumpByID returns one retained trace by id.
+// DumpByID returns one trace by id. Completed traces come from the
+// ring buffer; a trace whose root span is still open is served from
+// the open set as a consistent partial tree (every span snapshots
+// under its own lock), so introspecting a routed query before its
+// shard subtrees are grafted is race-free rather than a miss.
 func (t *Tracer) DumpByID(id uint64) (TraceDump, bool) {
 	t.mu.Lock()
 	var found *Trace
@@ -370,6 +395,9 @@ func (t *Tracer) DumpByID(id uint64) (TraceDump, bool) {
 			found = tr
 			break
 		}
+	}
+	if found == nil {
+		found = t.open[id]
 	}
 	t.mu.Unlock()
 	if found == nil {

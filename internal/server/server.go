@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"sync/atomic"
@@ -76,6 +77,13 @@ type Config struct {
 	// service duration reaches it (with its trace id, so the span tree
 	// can be pulled from /debug/traces).
 	SlowQueryThreshold time.Duration
+	// SLOObjectives are the latency objectives behind the
+	// mloc_slo_query_ok_total / mloc_slo_query_breach_total counter
+	// pairs (default obs.DefaultSLOObjectives).
+	SLOObjectives []time.Duration
+	// QueryLogCapacity bounds the always-on query-log ring served at
+	// /debug/querylog (default obs.DefaultQueryLogCapacity).
+	QueryLogCapacity int
 	// Logf receives slow-query log lines (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -108,6 +116,13 @@ func (c *Config) normalize() error {
 	if c.Tracer == nil {
 		c.Tracer = obs.NewTracer(obs.DefaultTraceCapacity)
 	}
+	if c.SLOObjectives == nil {
+		objs, err := obs.ParseSLOObjectives(obs.DefaultSLOObjectives)
+		if err != nil {
+			return fmt.Errorf("server: default slo objectives: %w", err)
+		}
+		c.SLOObjectives = objs
+	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
 	}
@@ -128,6 +143,8 @@ type Server struct {
 	adm    *admission
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	qlog   *obs.QueryLog
+	slo    *obs.SLO
 
 	draining atomic.Bool
 
@@ -138,6 +155,7 @@ type Server struct {
 	queriesFailed   *obs.Counter
 	shed            map[string]*obs.Counter
 	queueWait       *obs.Histogram
+	queryLatency    *obs.Histogram
 	endpoints       map[string]*endpointMetrics
 }
 
@@ -157,6 +175,7 @@ func New(cfg Config) (*Server, error) {
 		adm:    newAdmission(cfg.MaxConcurrent, cfg.MaxQueue, cfg.QueueWait),
 		reg:    cfg.Registry,
 		tracer: cfg.Tracer,
+		qlog:   obs.NewQueryLog(cfg.QueryLogCapacity),
 	}
 	s.instrument()
 	return s, nil
@@ -190,6 +209,10 @@ func (s *Server) instrument() {
 	}
 	s.queueWait = reg.Histogram("mloc_server_queue_wait_seconds",
 		"Admission-queue wait before a slot was granted.", obs.DefSecondsBuckets())
+	s.queryLatency = reg.Histogram("mloc_server_query_latency_seconds",
+		"End-to-end query wall latency; slow buckets carry exemplar trace ids.",
+		obs.DefSecondsBuckets())
+	s.slo = obs.NewSLO(reg, s.cfg.SLOObjectives)
 	reg.GaugeFunc("mloc_server_in_flight",
 		"Queries currently executing.", func() float64 { return float64(s.adm.inFlight()) })
 	reg.GaugeFunc("mloc_server_queue_depth",
@@ -204,7 +227,7 @@ func (s *Server) instrument() {
 	reg.GaugeFunc("mloc_server_stores",
 		"Variables served.", func() float64 { return float64(len(s.cfg.Stores)) })
 	s.endpoints = make(map[string]*endpointMetrics)
-	for _, ep := range []string{"query", "stats", "vars", "healthz", "metrics", "traces"} {
+	for _, ep := range []string{"query", "stats", "vars", "healthz", "metrics", "traces", "querylog"} {
 		s.endpoints[ep] = &endpointMetrics{
 			requests: reg.Counter("mloc_server_requests_total",
 				"HTTP requests by endpoint.", obs.L("endpoint", ep)),
@@ -227,6 +250,9 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // Tracer returns the tracer backing /debug/traces.
 func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
+// QueryLog returns the always-on query log backing /debug/querylog.
+func (s *Server) QueryLog() *obs.QueryLog { return s.qlog }
+
 // SetDraining flips the draining flag: while set, new queries get 503
 // with Retry-After and in-flight queries run to completion. Graceful
 // shutdown sets it before http.Server.Shutdown.
@@ -241,6 +267,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.endpoint("healthz", s.handleHealthz))
 	mux.HandleFunc("/metrics", s.endpoint("metrics", s.handleMetrics))
 	mux.HandleFunc("/debug/traces", s.endpoint("traces", s.handleTraces))
+	mux.HandleFunc("/debug/querylog", s.endpoint("querylog", s.handleQueryLog))
 	return mux
 }
 
@@ -309,6 +336,11 @@ type ResultWire struct {
 	// TraceID names the retained span tree for this query; fetch it at
 	// /debug/traces?id=<TraceID>.
 	TraceID uint64 `json:"trace_id,omitempty"`
+	// Trace is the completed span subtree in obs trace wire form,
+	// present only when the request carried the X-Mloc-Trace header
+	// (a router propagating its trace context). It stays raw so the
+	// consumer applies its own size-bounded obs.DecodeTraceWire.
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // ToResult converts a decoded wire response back into an engine
@@ -375,6 +407,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	start := time.Now()
+	remoteTrace := r.Header.Get(obs.TraceHeader) != ""
 	ctx, root := s.tracer.StartTrace(r.Context(), "query")
 	defer root.End()
 	root.SetString("var", wire.Var)
@@ -396,10 +429,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			// bin boundary and the deferred release frees the slot now
 			// rather than after the full scan.
 			s.queriesCanceled.Inc()
+			s.recordQuery(wire.Var, st, nil, queued, time.Since(start), root.TraceID(), "canceled")
 			WriteError(w, http.StatusServiceUnavailable, "query canceled")
 			return
 		}
 		s.queriesFailed.Inc()
+		s.recordQuery(wire.Var, st, nil, queued, time.Since(start), root.TraceID(), "error")
 		WriteError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
@@ -408,8 +443,93 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	root.SetFloat("virt_total_s", res.Time.Total())
 	out := BuildResult(wire.Var, res, s.cfg.MaxMatches, queued)
 	out.TraceID = root.TraceID()
-	s.maybeLogSlow(wire.Var, time.Since(start), res, out.TraceID)
+	wall := time.Since(start)
+	// The span tree must be complete before it can travel in the
+	// envelope, so the root ends here; the deferred End is a no-op.
+	root.End()
+	if remoteTrace {
+		if td, ok := s.tracer.DumpByID(out.TraceID); ok {
+			data, err := obs.EncodeTraceWire(td, obs.DefaultMaxWireBytes)
+			if err != nil {
+				// An over-bound tree is dropped from the envelope, never
+				// truncated; the trace is still served at /debug/traces.
+				s.cfg.Logf("server: trace %d not attached to response: %v", out.TraceID, err)
+			} else {
+				out.Trace = data
+			}
+		}
+	}
+	s.recordQuery(wire.Var, st, res, queued, wall, out.TraceID, "ok")
+	s.maybeLogSlow(wire.Var, wall, res, out.TraceID)
 	WriteJSON(w, http.StatusOK, out)
+}
+
+// recordQuery feeds one finished query into the always-on query log,
+// the SLO counters, and the latency histogram (whose bucket keeps the
+// trace id as its exemplar). res is nil for canceled/failed queries.
+func (s *Server) recordQuery(name string, st *core.Store, res *query.Result, queued, wall time.Duration, traceID uint64, outcome string) {
+	rec := obs.QueryRecord{
+		Store:       string(st.Mode()),
+		Var:         name,
+		Selectivity: "unknown",
+		Outcome:     outcome,
+		QueueWaitMS: float64(queued.Microseconds()) / 1000,
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		TraceID:     traceID,
+	}
+	if res != nil {
+		var domain int64 = 1
+		for _, d := range st.Shape() {
+			domain *= int64(d)
+		}
+		rec.Selectivity = obs.SelectivityClass(len(res.Matches), domain)
+		rec.Matches = len(res.Matches)
+		rec.BinsPruned = res.BinsPruned
+		rec.BinsCovered = res.BinsCovered
+		rec.CacheHits = res.CacheHits
+		rec.CacheMisses = res.BlocksRead
+		rec.BytesDecoded = res.BytesRead
+		rec.VirtS = res.Time.Total()
+	}
+	s.qlog.Append(rec)
+	s.slo.Observe(wall)
+	s.queryLatency.ObserveExemplar(wall.Seconds(), traceID)
+}
+
+// ParseQueryLogFilter builds an obs.QueryFilter from /debug/querylog
+// request parameters (store, var, min_latency as a Go duration). The
+// untrusted values are only compared against records — never used as
+// sizes, indexes, or sleeps — so the surface needs no further
+// sanitizing.
+func ParseQueryLogFilter(q url.Values) (obs.QueryFilter, error) {
+	f := obs.QueryFilter{Store: q.Get("store"), Var: q.Get("var")}
+	if v := q.Get("min_latency"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return obs.QueryFilter{}, fmt.Errorf("server: bad min_latency %q: %w", v, err)
+		}
+		if d < 0 {
+			return obs.QueryFilter{}, fmt.Errorf("server: min_latency %q must be non-negative", v)
+		}
+		f.MinWall = d
+	}
+	return f, nil
+}
+
+// handleQueryLog serves the always-on query log, newest first,
+// filterable with ?store=, ?var=, and ?min_latency=.
+func (s *Server) handleQueryLog(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		WriteError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	f, err := ParseQueryLogFilter(r.URL.Query())
+	if err != nil {
+		WriteError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	WriteJSONIndent(w, http.StatusOK, s.qlog.Snapshot(f))
 }
 
 // maybeLogSlow emits the slow-query log line when the wall-clock

@@ -5,9 +5,12 @@
 # time (virt-s/op), and both speedups relative to the 1-worker run of
 # the same mode. BenchmarkObsOverhead (query path traced vs untraced)
 # rides along as an "obs_overhead" section, so the cost of tracing is
-# part of the recorded trajectory, and BenchmarkMlocvetRepo (one full
-# static-analysis pass over the repository) as a "vet_repo" section, so
-# the analyzer gate's CI cost is too. CI uploads the file as an
+# part of the recorded trajectory; BenchmarkDistTraceOverhead (a routed
+# two-node query with remote span propagation off vs on) as a
+# "dist_trace_overhead" section, so the distributed-tracing tax is too;
+# and BenchmarkMlocvetRepo (one full static-analysis pass over the
+# repository) as a "vet_repo" section, so the analyzer gate's CI cost
+# is too. CI uploads the file as an
 # artifact; the committed copy is the checkpoint the next optimization
 # PR measures against.
 #
@@ -87,6 +90,10 @@ raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 go test ./internal/core -run '^$' -bench '^(BenchmarkBuildParallel|BenchmarkObsOverhead)$' \
 	-benchmem -benchtime "$benchtime" | tee "$raw"
+# The routed benchmark boots a two-node cluster per run; a few
+# iterations dominate the HTTP noise without dragging the gate.
+go test ./internal/cluster/router -run '^$' -bench '^BenchmarkDistTraceOverhead$' \
+	-benchmem -benchtime "$benchtime" | tee -a "$raw"
 # The vet pass is seconds per op; one iteration is enough signal.
 go test ./cmd/mlocvet -run '^$' -bench '^BenchmarkMlocvetRepo$' \
 	-benchmem -benchtime 1x | tee -a "$raw"
@@ -129,6 +136,20 @@ awk -v benchtime="$benchtime" -v goversion="$(go env GOVERSION)" '
 	omode[on] = tracing; ons[on] = ns; oallocs[on] = allocs; obytes[on] = bytes
 	if (tracing == "off") offNs = ns
 }
+/^BenchmarkDistTraceOverhead\// {
+	split($1, parts, "/")
+	prop = parts[2]
+	sub(/-[0-9]+$/, "", prop)
+	ns = allocs = bytes = 0
+	for (i = 2; i < NF; i++) {
+		if ($(i + 1) == "ns/op") ns = $i
+		else if ($(i + 1) == "allocs/op") allocs = $i
+		else if ($(i + 1) == "B/op") bytes = $i
+	}
+	dn++
+	dmode[dn] = prop; dns[dn] = ns; dallocs[dn] = allocs; dbytes[dn] = bytes
+	if (prop == "off") dOffNs = ns
+}
 /^BenchmarkMlocvetRepo/ {
 	vns = vallocs = vbytes = vanalyzers = 0
 	for (i = 2; i < NF; i++) {
@@ -165,6 +186,13 @@ END {
 		ratio = (offNs > 0 && ons[i] > 0) ? ons[i] / offNs : 0
 		printf "    {\"tracing\": \"%s\", \"ns_op\": %d, \"allocs_op\": %d, \"bytes_op\": %d, \"vs_off\": %.3f}%s\n", \
 			omode[i], ons[i], oallocs[i], obytes[i], ratio, (i < on ? "," : "")
+	}
+	printf "  ],\n"
+	printf "  \"dist_trace_overhead\": [\n"
+	for (i = 1; i <= dn; i++) {
+		ratio = (dOffNs > 0 && dns[i] > 0) ? dns[i] / dOffNs : 0
+		printf "    {\"propagation\": \"%s\", \"ns_op\": %.0f, \"allocs_op\": %.0f, \"bytes_op\": %.0f, \"vs_off\": %.3f}%s\n", \
+			dmode[i], dns[i], dallocs[i], dbytes[i], ratio, (i < dn ? "," : "")
 	}
 	printf "  ],\n"
 	printf "  \"vet_repo\": "

@@ -4,10 +4,15 @@
 # in front of them (replication 1 so every shard has exactly one
 # owner), check a routed query matches a direct single-node answer,
 # then kill one data node through its fault injector and assert the
-# router degrades to a partial result instead of failing. The router's
-# observability surface (/metrics + /debug/traces) is validated with
-# mloclint, the topology renders via `mlocctl cluster nodes`, and the
-# router drains gracefully on SIGTERM.
+# router degrades to a partial result instead of failing. Distributed
+# tracing is exercised end to end: the routed query's trace on the
+# router must contain the data nodes' grafted span subtrees (node=
+# attrs, decode spans) with the root's virtual time matching the
+# reported query latency, and both the router's and a data node's
+# /debug/querylog must record the query. The router's observability
+# surface (/metrics incl. SLO counters + /debug/traces) is validated
+# with mloclint, the topology renders via `mlocctl cluster nodes`, and
+# the router drains gracefully on SIGTERM.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -106,6 +111,58 @@ if ! grep -q 'pruning: .* bins pruned' "$workdir/pruned.out"; then
     exit 1
 fi
 
+echo "cluster-smoke: cross-node trace grafting on the router"
+trace_id=$(sed -n 's/.*trace: \([0-9][0-9]*\) .*/\1/p' "$workdir/routed.out" | head -n1)
+if [[ -z "$trace_id" ]]; then
+    echo "cluster-smoke: FAIL — routed query reported no trace id" >&2
+    cat "$workdir/routed.out" >&2
+    exit 1
+fi
+"$workdir/mlocctl" trace -remote "$router" -id "$trace_id" >"$workdir/trace.out"
+if ! grep -q 'decode' "$workdir/trace.out"; then
+    echo "cluster-smoke: FAIL — router trace carries no grafted decode span" >&2
+    cat "$workdir/trace.out" >&2
+    exit 1
+fi
+for node in "$node1" "$node2"; do
+    if ! grep -q "node=$node" "$workdir/trace.out"; then
+        echo "cluster-smoke: FAIL — router trace has no subtree grafted from $node" >&2
+        cat "$workdir/trace.out" >&2
+        exit 1
+    fi
+done
+reported=$(sed -n 's/.*total \([0-9.][0-9.]*\)s (virtual).*/\1/p' "$workdir/routed.out" | head -n1)
+root_virt=$(awk '/^  route / { for (i=1;i<NF;i++) if ($i=="virt") { sub(/s$/,"",$(i+1)); print $(i+1); exit } }' "$workdir/trace.out")
+if [[ -z "$reported" || -z "$root_virt" ]]; then
+    echo "cluster-smoke: FAIL — could not extract virtual times (reported='$reported', root='$root_virt')" >&2
+    cat "$workdir/trace.out" >&2
+    exit 1
+fi
+if ! awk -v a="$reported" -v b="$root_virt" 'BEGIN { d=a-b; if (d<0) d=-d; exit !(d <= 0.001) }'; then
+    echo "cluster-smoke: FAIL — trace root virt ${root_virt}s != reported query latency ${reported}s" >&2
+    cat "$workdir/trace.out" >&2
+    exit 1
+fi
+
+echo "cluster-smoke: query log records the query on router and data node"
+"$workdir/mlocctl" querylog -remote "$router" >"$workdir/qlog_router.out"
+if ! grep -q 'var=t' "$workdir/qlog_router.out"; then
+    echo "cluster-smoke: FAIL — router query log has no record for var t" >&2
+    cat "$workdir/qlog_router.out" >&2
+    exit 1
+fi
+if ! grep -q "trace=$trace_id" "$workdir/qlog_router.out"; then
+    echo "cluster-smoke: FAIL — router query log record lacks trace id $trace_id" >&2
+    cat "$workdir/qlog_router.out" >&2
+    exit 1
+fi
+"$workdir/mlocctl" querylog -remote "$node1" >"$workdir/qlog_node.out"
+if ! grep -q 'var=t' "$workdir/qlog_node.out"; then
+    echo "cluster-smoke: FAIL — data-node query log has no record for var t" >&2
+    cat "$workdir/qlog_node.out" >&2
+    exit 1
+fi
+
 echo "cluster-smoke: topology via mlocctl cluster nodes"
 "$workdir/mlocctl" cluster nodes -remote "$router" >"$workdir/topo.out"
 if ! grep -q 'replication 1' "$workdir/topo.out"; then
@@ -152,8 +209,13 @@ if grep -q 'degraded' "$workdir/revived.out"; then
 fi
 
 echo "cluster-smoke: validating router /metrics and /debug/traces"
-if ! "$workdir/mloclint" -remote "$router"; then
+if ! "$workdir/mloclint" -remote "$router" | tee "$workdir/lint.out"; then
     echo "cluster-smoke: FAIL — router observability surface is malformed" >&2
+    exit 1
+fi
+if ! grep -q 'slo ok' "$workdir/lint.out"; then
+    echo "cluster-smoke: FAIL — router /metrics exposes no SLO counter families" >&2
+    cat "$workdir/lint.out" >&2
     exit 1
 fi
 "$workdir/mlocctl" stats -remote "$router" >"$workdir/stats.out"
